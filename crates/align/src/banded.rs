@@ -1,0 +1,151 @@
+//! Banded Smith-Waterman around a seed diagonal.
+//!
+//! The paper's §2 names banded Smith-Waterman as the "limited number of
+//! mismatches" option alongside x-drop termination. This kernel restricts
+//! the DP to a fixed-width band centred on the seed's diagonal
+//! (`t_pos − s_pos`), costing O(min(|s|,|t|) · band) instead of
+//! O(|s|·|t|). It is used in the kernel ablation benches and as a
+//! second reference for the x-drop kernel.
+
+use crate::scoring::Scoring;
+use crate::sw::LocalAlignment;
+
+/// Banded local alignment of `s` and `t`, restricted to diagonals
+/// `center − half_band ..= center + half_band`, where a cell `(i, j)` lies
+/// on diagonal `j − i`.
+///
+/// Start coordinates are not recovered (score/end only) — the pipeline
+/// uses banded alignment for scoring and filtering, like BELLA.
+///
+/// # Panics
+/// Panics if `half_band == 0`... zero-width bands cannot host a match run
+/// (callers always derive the band from the error rate).
+pub fn banded_sw(
+    s: &[u8],
+    t: &[u8],
+    center: i64,
+    half_band: usize,
+    scoring: Scoring,
+) -> LocalAlignment {
+    assert!(half_band > 0, "band must have positive width");
+    let n = s.len();
+    let m = t.len();
+    let width = 2 * half_band + 1;
+    // Row-wise DP over i; for each i, j ranges over the band around
+    // diagonal `center`: j ∈ [i + center − half_band, i + center + half_band].
+    let mut prev = vec![0i32; width];
+    let mut cur = vec![0i32; width];
+    let mut best = 0i32;
+    let mut best_i = 0usize;
+    let mut best_j = 0usize;
+    let mut cells = 0u64;
+
+    let band_j = |i: usize, off: usize| -> Option<usize> {
+        let j = i as i64 + center - half_band as i64 + off as i64;
+        (j >= 1 && j <= m as i64).then_some(j as usize)
+    };
+
+    for i in 1..=n {
+        for slot in cur.iter_mut() {
+            *slot = 0;
+        }
+        for off in 0..width {
+            let Some(j) = band_j(i, off) else { continue };
+            cells += 1;
+            // In banded coordinates (i, off): moving i → i+1 keeps the
+            // same diagonal at the same `off`; cell (i-1, j-1) is at the
+            // same off in `prev`, (i-1, j) is at off+1 in `prev`, and
+            // (i, j-1) is at off-1 in `cur`.
+            let diag = prev[off] + scoring.substitution(s[i - 1], t[j - 1]);
+            let up = if off + 1 < width { prev[off + 1] + scoring.gap } else { i32::MIN / 4 };
+            let left = if off > 0 { cur[off - 1] + scoring.gap } else { i32::MIN / 4 };
+            let v = diag.max(up).max(left).max(0);
+            cur[off] = v;
+            if v > best {
+                best = v;
+                best_i = i;
+                best_j = j;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    LocalAlignment {
+        score: best,
+        s_start: 0,
+        s_end: best_i,
+        t_start: 0,
+        t_end: best_j,
+        cells,
+    }
+}
+
+/// Band half-width needed to absorb the expected indel imbalance of an
+/// overlap of length `ov` at error rate `e` (≈ half the errors are
+/// insertions/deletions; 3σ headroom).
+pub fn band_for_error_rate(ov: usize, e: f64) -> usize {
+    let expected_indels = ov as f64 * e * 0.5;
+    let sigma = expected_indels.sqrt();
+    (expected_indels * 0.2 + 3.0 * sigma).ceil().max(8.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::smith_waterman;
+
+    const S: Scoring = Scoring::bella();
+
+    #[test]
+    fn identical_on_main_diagonal() {
+        let a = banded_sw(b"ACGTACGTAC", b"ACGTACGTAC", 0, 4, S);
+        assert_eq!(a.score, 10);
+        assert_eq!(a.s_end, 10);
+        assert_eq!(a.t_end, 10);
+    }
+
+    #[test]
+    fn matches_full_sw_when_band_is_wide() {
+        let s = b"ACGTTGCAGGTATTTACGCAGGAT";
+        let t = b"ACGTTGCATGTATTTACCCAGGAT";
+        let full = smith_waterman(s, t, S);
+        let banded = banded_sw(s, t, 0, s.len().max(t.len()), S);
+        assert_eq!(banded.score, full.score);
+    }
+
+    #[test]
+    fn narrow_band_misses_off_diagonal_alignment() {
+        // The true alignment sits on diagonal +8; a ±2 band centred at 0
+        // cannot see it.
+        let s = b"TTTTTTTTACGTACGTACGT";
+        let t = b"ACGTACGTACGTAAAAAAAA";
+        let full = smith_waterman(s, t, S);
+        assert!(full.score >= 12);
+        let narrow = banded_sw(s, t, 0, 2, S);
+        assert!(narrow.score < full.score);
+        let centered = banded_sw(s, t, -8, 2, S);
+        assert_eq!(centered.score, full.score);
+    }
+
+    #[test]
+    fn cells_bounded_by_band() {
+        let s = vec![b'A'; 500];
+        let t = vec![b'A'; 500];
+        let a = banded_sw(&s, &t, 0, 10, S);
+        assert!(a.cells <= 500 * 21);
+        assert_eq!(a.score, 500);
+    }
+
+    #[test]
+    fn band_sizing_grows_with_error_and_length() {
+        assert!(band_for_error_rate(2000, 0.15) > band_for_error_rate(2000, 0.05));
+        assert!(band_for_error_rate(8000, 0.15) > band_for_error_rate(2000, 0.15));
+        assert!(band_for_error_rate(10, 0.0) >= 8);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let a = banded_sw(b"", b"ACGT", 0, 4, S);
+        assert_eq!(a.score, 0);
+        assert_eq!(a.cells, 0);
+    }
+}

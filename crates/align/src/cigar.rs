@@ -1,0 +1,306 @@
+//! Alignment paths (CIGAR strings).
+//!
+//! diBELLA itself reports overlap coordinates and scores — "the edits
+//! required to make the overlapping regions identical" (paper §1) are
+//! needed by downstream consumers (consensus, assembly polishing), so a
+//! production library must be able to produce them. This module computes
+//! the optimal global alignment *path* over the region pair that the
+//! x-drop kernel identified, with the same scoring scheme, and renders it
+//! as a SAM/PAF-style CIGAR (`=`/`X`/`I`/`D` ops; `I` = insertion in the
+//! query `a`, consuming `a` only).
+
+use crate::scoring::Scoring;
+
+/// One CIGAR operation kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CigarOp {
+    /// Match (`=`): equal bases consumed from both sequences.
+    Match,
+    /// Mismatch (`X`): unequal bases consumed from both sequences.
+    Mismatch,
+    /// Insertion (`I`): base present in `a` only.
+    Insertion,
+    /// Deletion (`D`): base present in `b` only.
+    Deletion,
+}
+
+impl CigarOp {
+    /// SAM character for the op.
+    pub fn as_char(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Mismatch => 'X',
+            CigarOp::Insertion => 'I',
+            CigarOp::Deletion => 'D',
+        }
+    }
+
+    /// Does the op consume a base of `a`?
+    pub fn consumes_a(self) -> bool {
+        !matches!(self, CigarOp::Deletion)
+    }
+
+    /// Does the op consume a base of `b`?
+    pub fn consumes_b(self) -> bool {
+        !matches!(self, CigarOp::Insertion)
+    }
+}
+
+/// A run-length-encoded alignment path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cigar {
+    runs: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Append one op, merging with the previous run when equal.
+    pub fn push(&mut self, op: CigarOp) {
+        match self.runs.last_mut() {
+            Some((n, last)) if *last == op => *n += 1,
+            _ => self.runs.push((1, op)),
+        }
+    }
+
+    /// The `(count, op)` runs in order.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.runs
+    }
+
+    /// Total bases of `a` consumed.
+    pub fn a_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_a())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Total bases of `b` consumed.
+    pub fn b_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_b())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Alignment-column count (all ops).
+    pub fn columns(&self) -> usize {
+        self.runs.iter().map(|&(n, _)| n as usize).sum()
+    }
+
+    /// Matches / columns — the identity downstream QC tools report.
+    pub fn identity(&self) -> f64 {
+        let matches: usize = self
+            .runs
+            .iter()
+            .filter(|(_, op)| matches!(op, CigarOp::Match))
+            .map(|&(n, _)| n as usize)
+            .sum();
+        if self.columns() == 0 {
+            0.0
+        } else {
+            matches as f64 / self.columns() as f64
+        }
+    }
+
+    /// Mismatches + indel bases (Levenshtein-style edit count of the
+    /// aligned path).
+    pub fn edits(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| !matches!(op, CigarOp::Match))
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Render as a CIGAR string, e.g. `"12=1X3=2D7="`.
+    pub fn to_cigar_string(&self) -> String {
+        let mut out = String::new();
+        for &(n, op) in &self.runs {
+            out.push_str(&n.to_string());
+            out.push(op.as_char());
+        }
+        out
+    }
+
+    /// Replay the path over `a`: produces the sequence it claims `b` to
+    /// be, substituting from `b` at mismatch/deletion columns. Used to
+    /// verify path validity (`apply(a, b) == b`).
+    pub fn apply(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(b.len());
+        let mut ia = 0usize;
+        let mut ib = 0usize;
+        for &(n, op) in &self.runs {
+            for _ in 0..n {
+                match op {
+                    CigarOp::Match => {
+                        out.push(a[ia]);
+                        ia += 1;
+                        ib += 1;
+                    }
+                    CigarOp::Mismatch | CigarOp::Deletion => {
+                        out.push(b[ib]);
+                        if op == CigarOp::Mismatch {
+                            ia += 1;
+                        }
+                        ib += 1;
+                    }
+                    CigarOp::Insertion => {
+                        ia += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Cigar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_cigar_string())
+    }
+}
+
+/// Optimal global alignment of `a` against `b` with linear gaps,
+/// returning the score and the full path. O(|a|·|b|) time and memory —
+/// intended for the *overlap regions* the x-drop kernel has already
+/// localized (paper workflow: locate cheaply, then edit where needed).
+pub fn global_alignment(a: &[u8], b: &[u8], scoring: Scoring) -> (i32, Cigar) {
+    let n = a.len();
+    let m = b.len();
+    const NEG: i32 = i32::MIN / 4;
+    // DP with full matrix for traceback. Row-major (n+1) x (m+1).
+    let width = m + 1;
+    let mut dp = vec![NEG; (n + 1) * width];
+    dp[0] = 0;
+    for j in 1..=m {
+        dp[j] = scoring.gap * j as i32;
+    }
+    for i in 1..=n {
+        dp[i * width] = scoring.gap * i as i32;
+        for j in 1..=m {
+            let diag = dp[(i - 1) * width + j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
+            let up = dp[(i - 1) * width + j] + scoring.gap;
+            let left = dp[i * width + j - 1] + scoring.gap;
+            dp[i * width + j] = diag.max(up).max(left);
+        }
+    }
+    // Traceback (prefer diagonal, then up, then left — deterministic).
+    let mut rev: Vec<CigarOp> = Vec::with_capacity(n + m);
+    let mut i = n;
+    let mut j = m;
+    while i > 0 || j > 0 {
+        let here = dp[i * width + j];
+        if i > 0
+            && j > 0
+            && here == dp[(i - 1) * width + j - 1] + scoring.substitution(a[i - 1], b[j - 1])
+        {
+            rev.push(if a[i - 1] == b[j - 1] {
+                CigarOp::Match
+            } else {
+                CigarOp::Mismatch
+            });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && here == dp[(i - 1) * width + j] + scoring.gap {
+            rev.push(CigarOp::Insertion);
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && here == dp[i * width + j - 1] + scoring.gap);
+            rev.push(CigarOp::Deletion);
+            j -= 1;
+        }
+    }
+    let mut cigar = Cigar::default();
+    for op in rev.into_iter().rev() {
+        cigar.push(op);
+    }
+    (dp[n * width + m], cigar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Scoring = Scoring::bella();
+
+    #[test]
+    fn identical_sequences() {
+        let (score, cigar) = global_alignment(b"ACGTACGT", b"ACGTACGT", S);
+        assert_eq!(score, 8);
+        assert_eq!(cigar.to_cigar_string(), "8=");
+        assert_eq!(cigar.identity(), 1.0);
+        assert_eq!(cigar.edits(), 0);
+    }
+
+    #[test]
+    fn single_mismatch() {
+        let (score, cigar) = global_alignment(b"AAAACAAA", b"AAAAGAAA", S);
+        assert_eq!(score, 7 - 1);
+        assert_eq!(cigar.to_cigar_string(), "4=1X3=");
+    }
+
+    #[test]
+    fn single_insertion_and_deletion() {
+        let (score, cigar) = global_alignment(b"ACGGT", b"ACGT", S);
+        assert_eq!(score, 4 - 1);
+        assert!(cigar.to_cigar_string().contains('I'), "{cigar}");
+        assert_eq!(cigar.a_len(), 5);
+        assert_eq!(cigar.b_len(), 4);
+
+        let (_, cigar) = global_alignment(b"ACGT", b"ACGGT", S);
+        assert!(cigar.to_cigar_string().contains('D'), "{cigar}");
+        assert_eq!(cigar.a_len(), 4);
+        assert_eq!(cigar.b_len(), 5);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (score, cigar) = global_alignment(b"", b"", S);
+        assert_eq!(score, 0);
+        assert_eq!(cigar.columns(), 0);
+        let (score, cigar) = global_alignment(b"ACG", b"", S);
+        assert_eq!(score, -3);
+        assert_eq!(cigar.to_cigar_string(), "3I");
+    }
+
+    #[test]
+    fn apply_reconstructs_b() {
+        let a = b"ACGTTGCAGGTATT";
+        let b = b"ACGTGCAGCGTTT";
+        let (_, cigar) = global_alignment(a, b, S);
+        assert_eq!(cigar.apply(a, b), b.to_vec());
+        assert_eq!(cigar.a_len(), a.len());
+        assert_eq!(cigar.b_len(), b.len());
+    }
+
+    #[test]
+    fn score_matches_cigar_arithmetic() {
+        let a = b"ACGTTGCAGGTATTTACGCA";
+        let b = b"ACGTGCAGGTTATTTCGCAA";
+        let (score, cigar) = global_alignment(a, b, S);
+        let mut expect = 0i32;
+        for &(n, op) in cigar.runs() {
+            expect += n as i32
+                * match op {
+                    CigarOp::Match => S.match_score,
+                    CigarOp::Mismatch => S.mismatch,
+                    CigarOp::Insertion | CigarOp::Deletion => S.gap,
+                };
+        }
+        assert_eq!(score, expect);
+    }
+
+    #[test]
+    fn run_length_merging() {
+        let mut c = Cigar::default();
+        for _ in 0..3 {
+            c.push(CigarOp::Match);
+        }
+        c.push(CigarOp::Deletion);
+        c.push(CigarOp::Match);
+        assert_eq!(c.to_cigar_string(), "3=1D1=");
+        assert_eq!(c.runs().len(), 3);
+    }
+}

@@ -1,0 +1,24 @@
+//! # dibella-align
+//!
+//! Pairwise alignment kernels for diBELLA's alignment stage: the gapped
+//! **x-drop** seed extension used in production (paper §2/§9; a
+//! from-scratch equivalent of the SeqAn kernel the authors call), a
+//! **banded Smith-Waterman**, and the **full Smith-Waterman** oracle used
+//! to validate both. Every kernel reports the number of DP cells it
+//! computed — the currency of the cross-architecture cost model and the
+//! quantity whose variance produces the alignment-stage load imbalance of
+//! Figure 8.
+
+#![warn(missing_docs)]
+
+pub mod banded;
+pub mod cigar;
+pub mod scoring;
+pub mod sw;
+pub mod xdrop;
+
+pub use banded::{band_for_error_rate, banded_sw};
+pub use cigar::{global_alignment, Cigar, CigarOp};
+pub use scoring::Scoring;
+pub use sw::{smith_waterman, sw_forward, LocalAlignment};
+pub use xdrop::{extend_seed, extend_ungapped, extend_xdrop, Extension, SeedAlignment, SeedHit};

@@ -1,0 +1,88 @@
+//! Alignment scoring schemes.
+//!
+//! BELLA/diBELLA score with simple unit costs (match +1, mismatch −1,
+//! gap −1), which is also what the x-drop termination bound `X` is
+//! calibrated against. Affine gaps are unnecessary for the overlap
+//! detection role of this kernel (divergent pairs are abandoned by the
+//! x-drop long before gap-open modelling matters).
+
+/// Linear-gap scoring parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score for a match (positive).
+    pub match_score: i32,
+    /// Score for a mismatch (negative).
+    pub mismatch: i32,
+    /// Score per gap base (negative).
+    pub gap: i32,
+}
+
+impl Scoring {
+    /// BELLA's defaults: +1 / −1 / −1.
+    pub const fn bella() -> Self {
+        Self {
+            match_score: 1,
+            mismatch: -1,
+            gap: -1,
+        }
+    }
+
+    /// Construct a custom scheme.
+    ///
+    /// # Panics
+    /// Panics unless `match_score > 0`, `mismatch < 0` and `gap < 0` —
+    /// local alignment degenerates otherwise.
+    pub fn new(match_score: i32, mismatch: i32, gap: i32) -> Self {
+        assert!(match_score > 0, "match score must be positive");
+        assert!(mismatch < 0, "mismatch penalty must be negative");
+        assert!(gap < 0, "gap penalty must be negative");
+        Self {
+            match_score,
+            mismatch,
+            gap,
+        }
+    }
+
+    /// Substitution score for aligning bytes `a` and `b` (case-sensitive
+    /// byte equality; inputs are upper-case ASCII in this pipeline).
+    #[inline]
+    pub fn substitution(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        Self::bella()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bella_defaults() {
+        let s = Scoring::default();
+        assert_eq!(s, Scoring::bella());
+        assert_eq!(s.substitution(b'A', b'A'), 1);
+        assert_eq!(s.substitution(b'A', b'C'), -1);
+        assert_eq!(s.gap, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "match score must be positive")]
+    fn rejects_non_positive_match() {
+        let _ = Scoring::new(0, -1, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap penalty must be negative")]
+    fn rejects_non_negative_gap() {
+        let _ = Scoring::new(1, -1, 0);
+    }
+}

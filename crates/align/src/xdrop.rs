@@ -1,0 +1,403 @@
+//! Gapped x-drop seed extension — diBELLA's production alignment kernel.
+//!
+//! Paper §2: "in place of full dynamic programming ... one can search only
+//! for solutions with a limited number of mismatches (banded
+//! Smith-Waterman) and terminate early when the alignment score drops
+//! significantly (x-drop) [37]. This makes pairwise alignment linear in
+//! L." The original algorithm is Zhang, Schwartz, Wagner & Miller (2000);
+//! diBELLA calls SeqAn's implementation — this is a from-scratch
+//! equivalent (see DESIGN.md §2).
+//!
+//! The extension walks antidiagonals of the DP matrix keeping only the
+//! cells whose score is within `X` of the best score seen so far; the
+//! frontier both grows (gaps) and shrinks (pruning), so well-matched
+//! sequences stay in a narrow adaptive band while divergent pairs
+//! terminate after O(X) antidiagonals — the property behind the alignment
+//! stage's x-drop load imbalance (paper §9, Figure 8).
+
+use crate::scoring::Scoring;
+
+/// Score used for pruned/unreachable cells. Kept well away from `i32::MIN`
+/// so arithmetic cannot overflow.
+const NEG_INF: i32 = i32::MIN / 4;
+
+/// Outcome of a one-directional x-drop extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extension {
+    /// Best extension score found (≥ 0; the empty extension scores 0).
+    pub score: i32,
+    /// Bases of `s` consumed by the best extension.
+    pub s_ext: usize,
+    /// Bases of `t` consumed by the best extension.
+    pub t_ext: usize,
+    /// DP cells computed.
+    pub cells: u64,
+}
+
+/// Extend an alignment from the start of `s` against the start of `t`
+/// with gapped x-drop pruning (drop-off parameter `x > 0`).
+///
+/// Returns the maximum-score pair of prefixes; the extension may be empty
+/// (`score = 0`).
+pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
+    assert!(x > 0, "x-drop threshold must be positive");
+    let n = s.len();
+    let m = t.len();
+    if n == 0 && m == 0 {
+        return Extension { score: 0, s_ext: 0, t_ext: 0, cells: 0 };
+    }
+
+    // Rows indexed by i (chars of s consumed); row d covers antidiagonal
+    // i + j = d over i ∈ [lo, hi].
+    let mut best = 0i32;
+    let mut best_i = 0usize;
+    let mut best_j = 0usize;
+    let mut cells = 0u64;
+
+    // Row storage: scores for [lo..=hi], offset by lo.
+    let mut prev2: Vec<i32> = vec![0];
+    let mut prev2_lo = 0usize;
+
+    // Antidiagonal 1 (if it exists).
+    if n == 0 || m == 0 {
+        return Extension { score: 0, s_ext: 0, t_ext: 0, cells: 0 };
+    }
+    // d = 1: cells (0,1) and (1,0), both pure gap.
+    let mut prev: Vec<i32> = Vec::with_capacity(2);
+    let prev_lo_init = 0usize;
+    for i in 0..=1usize {
+        let jd = 1 - i;
+        if i > n || jd > m {
+            prev.push(NEG_INF);
+            continue;
+        }
+        cells += 1;
+        prev.push(scoring.gap);
+    }
+    // Prune row 1 (gap = −1 survives any positive x, but keep the check
+    // for exotic scoring schemes).
+    if prev.iter().all(|&v| v < best - x) {
+        return Extension { score: best, s_ext: best_i, t_ext: best_j, cells };
+    }
+    let mut prev_lo = prev_lo_init;
+
+    let mut d = 1usize;
+    loop {
+        d += 1;
+        if d > n + m {
+            break;
+        }
+        // Candidate i range for row d from surviving cells of row d-1:
+        // a cell (i, j) on row d is reachable from (i, j-1) [same i] or
+        // (i-1, j) [i-1] on row d-1, or (i-1, j-1) on row d-2.
+        let prev_hi = prev_lo + prev.len() - 1;
+        let lo = prev_lo.max(d.saturating_sub(m));
+        let hi = (prev_hi + 1).min(d).min(n);
+        if lo > hi {
+            break;
+        }
+        let mut row = vec![NEG_INF; hi - lo + 1];
+        let mut any = false;
+        for i in lo..=hi {
+            let j = d - i;
+            if j > m || i > n {
+                continue;
+            }
+            cells += 1;
+            let mut v = NEG_INF;
+            // Gap in s (from (i, j-1), row d-1, same i).
+            if i >= prev_lo && i <= prev_hi && j >= 1 {
+                let c = prev[i - prev_lo];
+                if c > NEG_INF {
+                    v = v.max(c + scoring.gap);
+                }
+            }
+            // Gap in t (from (i-1, j), row d-1, index i-1).
+            if i > prev_lo && i - 1 <= prev_hi {
+                let c = prev[i - 1 - prev_lo];
+                if c > NEG_INF {
+                    v = v.max(c + scoring.gap);
+                }
+            }
+            // Substitution (from (i-1, j-1), row d-2, index i-1).
+            if i >= 1 && j >= 1 {
+                let p2_hi = prev2_lo + prev2.len() - 1;
+                if i > prev2_lo && i - 1 <= p2_hi {
+                    let c = prev2[i - 1 - prev2_lo];
+                    if c > NEG_INF {
+                        v = v.max(c + scoring.substitution(s[i - 1], t[j - 1]));
+                    }
+                }
+            }
+            if v <= NEG_INF {
+                continue;
+            }
+            if v > best {
+                best = v;
+                best_i = i;
+                best_j = j;
+            }
+            row[i - lo] = v;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        // X-drop pruning: drop cells below best - x; shrink to the
+        // surviving span.
+        let threshold = best - x;
+        let first = row.iter().position(|&v| v >= threshold);
+        let last = row.iter().rposition(|&v| v >= threshold);
+        let (first, last) = match (first, last) {
+            (Some(f), Some(l)) => (f, l),
+            _ => break, // every cell pruned → extension terminates
+        };
+        for v in row.iter_mut().take(first) {
+            *v = NEG_INF;
+        }
+        for v in row.iter_mut().skip(last + 1) {
+            *v = NEG_INF;
+        }
+        let new_row: Vec<i32> = row[first..=last].to_vec();
+        prev2 = std::mem::replace(&mut prev, new_row);
+        prev2_lo = std::mem::replace(&mut prev_lo, lo + first);
+    }
+
+    Extension { score: best, s_ext: best_i, t_ext: best_j, cells }
+}
+
+/// Ungapped x-drop extension along the main diagonal (the cheap variant
+/// BLAST uses before gapped extension; exposed for the kernel ablation).
+pub fn extend_ungapped(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
+    assert!(x > 0);
+    let mut score = 0i32;
+    let mut best = 0i32;
+    let mut best_len = 0usize;
+    let mut cells = 0u64;
+    for (i, (&a, &b)) in s.iter().zip(t.iter()).enumerate() {
+        cells += 1;
+        score += scoring.substitution(a, b);
+        if score > best {
+            best = score;
+            best_len = i + 1;
+        }
+        if score < best - x {
+            break;
+        }
+    }
+    Extension { score: best, s_ext: best_len, t_ext: best_len, cells }
+}
+
+/// A shared-seed alignment task between two oriented sequences.
+///
+/// Positions refer to the *oriented* sequences handed to
+/// [`extend_seed`] — the overlap stage resolves canonical-k-mer strands
+/// before building tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedHit {
+    /// Seed start in `a`.
+    pub a_pos: usize,
+    /// Seed start in `b` (oriented coordinates).
+    pub b_pos: usize,
+    /// Seed length (the k-mer length).
+    pub k: usize,
+}
+
+/// A completed seed-and-extend alignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedAlignment {
+    /// Total score: left extension + seed + right extension.
+    pub score: i32,
+    /// Aligned range in `a`.
+    pub a_start: usize,
+    /// End (exclusive) in `a`.
+    pub a_end: usize,
+    /// Aligned range in `b` (oriented coordinates).
+    pub b_start: usize,
+    /// End (exclusive) in `b`.
+    pub b_end: usize,
+    /// Total DP cells computed (both directions).
+    pub cells: u64,
+}
+
+/// Seed-and-extend with gapped x-drop in both directions from a shared
+/// k-mer (paper §4 step 4: "perform alignment on these read pairs using
+/// the shared k-mer as the starting position (seed)").
+///
+/// # Panics
+/// Panics if the seed exceeds either sequence.
+pub fn extend_seed(a: &[u8], b: &[u8], seed: SeedHit, scoring: Scoring, x: i32) -> SeedAlignment {
+    assert!(seed.a_pos + seed.k <= a.len(), "seed out of range in a");
+    assert!(seed.b_pos + seed.k <= b.len(), "seed out of range in b");
+
+    // Score the seed region itself (normally k matches; sequencing errors
+    // can make canonical-strand seeds imperfect, so score actual bases).
+    let seed_score: i32 = (0..seed.k)
+        .map(|i| scoring.substitution(a[seed.a_pos + i], b[seed.b_pos + i]))
+        .sum();
+
+    // Left: reversed prefixes.
+    let a_left: Vec<u8> = a[..seed.a_pos].iter().rev().copied().collect();
+    let b_left: Vec<u8> = b[..seed.b_pos].iter().rev().copied().collect();
+    let left = extend_xdrop(&a_left, &b_left, scoring, x);
+
+    // Right: suffixes.
+    let right = extend_xdrop(&a[seed.a_pos + seed.k..], &b[seed.b_pos + seed.k..], scoring, x);
+
+    SeedAlignment {
+        score: left.score + seed_score + right.score,
+        a_start: seed.a_pos - left.s_ext,
+        a_end: seed.a_pos + seed.k + right.s_ext,
+        b_start: seed.b_pos - left.t_ext,
+        b_end: seed.b_pos + seed.k + right.t_ext,
+        cells: left.cells + right.cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sw::smith_waterman;
+
+    const S: Scoring = Scoring::bella();
+
+    #[test]
+    fn identical_extension_runs_to_the_end() {
+        let e = extend_xdrop(b"ACGTACGTGG", b"ACGTACGTGG", S, 10);
+        assert_eq!(e.score, 10);
+        assert_eq!(e.s_ext, 10);
+        assert_eq!(e.t_ext, 10);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e = extend_xdrop(b"", b"", S, 5);
+        assert_eq!(e.score, 0);
+        let e = extend_xdrop(b"ACGT", b"", S, 5);
+        assert_eq!((e.score, e.s_ext, e.t_ext), (0, 0, 0));
+    }
+
+    #[test]
+    fn mismatch_tail_is_not_included() {
+        let e = extend_xdrop(b"AAAAGGGG", b"AAAACCCC", S, 3);
+        assert_eq!(e.score, 4);
+        assert_eq!(e.s_ext, 4);
+    }
+
+    #[test]
+    fn bridges_single_gap() {
+        // s has an extra base; gapped extension must recover the match run.
+        let e = extend_xdrop(b"AAAACAAAAAAA", b"AAAAAAAAAAA", S, 6);
+        // 11 matches − 1 gap = 10.
+        assert_eq!(e.score, 10);
+        assert_eq!(e.s_ext, 12);
+        assert_eq!(e.t_ext, 11);
+    }
+
+    #[test]
+    fn xdrop_terminates_early_on_divergence() {
+        // After 6 matching bases the sequences are unrelated; with a small
+        // X the extension must stop long before the end.
+        let mut s = b"ACGTGC".to_vec();
+        let mut t = b"ACGTGC".to_vec();
+        s.extend(std::iter::repeat_n(b'A', 4000));
+        t.extend(std::iter::repeat_n(b'C', 4000));
+        let e = extend_xdrop(&s, &t, S, 10);
+        assert_eq!(e.score, 6);
+        assert!(e.cells < 2_000, "expected early exit, computed {} cells", e.cells);
+    }
+
+    #[test]
+    fn larger_x_never_scores_lower() {
+        let s = b"ACGTTGCAGGTATTTACGCAGGATACGGATTACA";
+        let t = b"ACGTTGCAGCTATTTACGCAGCATACGGTTTACA";
+        let mut prev = 0;
+        for x in [1, 2, 5, 10, 50] {
+            let e = extend_xdrop(s, t, S, x);
+            assert!(e.score >= prev, "x={x}");
+            prev = e.score;
+        }
+    }
+
+    #[test]
+    fn huge_x_matches_best_prefix_pair_score() {
+        // With X → ∞ the x-drop finds the global best prefix-pair score,
+        // which for these inputs equals the SW local score anchored at 0,0.
+        let s = b"ACGTACGTAC";
+        let t = b"ACGTACGTAC";
+        let e = extend_xdrop(s, t, S, 1_000_000);
+        assert_eq!(e.score, 10);
+    }
+
+    #[test]
+    fn ungapped_stops_at_best() {
+        let e = extend_ungapped(b"AAAATTTT", b"AAAACCCC", S, 2);
+        assert_eq!(e.score, 4);
+        assert_eq!(e.s_ext, 4);
+        assert!(e.cells <= 8);
+    }
+
+    #[test]
+    fn seed_extension_full_overlap() {
+        //        0123456789
+        let a = b"TTTTACGTACGTAAAA";
+        let b = b"TTTTACGTACGTAAAA";
+        let seed = SeedHit { a_pos: 4, b_pos: 4, k: 8 };
+        let al = extend_seed(a, b, seed, S, 20);
+        assert_eq!(al.score, 16);
+        assert_eq!((al.a_start, al.a_end), (0, 16));
+        assert_eq!((al.b_start, al.b_end), (0, 16));
+    }
+
+    #[test]
+    fn seed_extension_offset_overlap() {
+        // b is a shifted window of a: suffix of a overlaps prefix of b.
+        let a = b"GGGGGGACGTACGTTTTT";
+        let b = b"ACGTACGTTTTTCCCCCC";
+        let seed = SeedHit { a_pos: 6, b_pos: 0, k: 8 };
+        let al = extend_seed(a, b, seed, S, 10);
+        // Overlap region is 12 bases (ACGTACGTTTTT).
+        assert_eq!(al.score, 12);
+        assert_eq!((al.a_start, al.a_end), (6, 18));
+        assert_eq!((al.b_start, al.b_end), (0, 12));
+    }
+
+    #[test]
+    fn seed_alignment_never_beats_smith_waterman() {
+        let a = b"ACGTTGCAGGTATTTACGCAGGATACGGATTACA";
+        let b = b"TTGCAGGTATTAACGCAGGATACGG";
+        // Seed at a true shared 8-mer: a[4..12] == b[1..9].
+        assert_eq!(&a[4..12], &b[1..9]);
+        let al = extend_seed(a, b, SeedHit { a_pos: 4, b_pos: 1, k: 8 }, S, 50);
+        let oracle = smith_waterman(a, b, S);
+        assert!(al.score <= oracle.score, "xdrop {} > SW {}", al.score, oracle.score);
+        assert!(al.score > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn seed_bounds_checked() {
+        let _ = extend_seed(b"ACGT", b"ACGT", SeedHit { a_pos: 2, b_pos: 0, k: 4 }, S, 5);
+    }
+
+    #[test]
+    fn divergent_pair_cheap_vs_true_pair_expensive() {
+        // The Fig-8 load-imbalance mechanism: a true overlapping pair costs
+        // DP work proportional to the overlap, a spurious pair terminates
+        // after ~X antidiagonals regardless of read length.
+        let unit = b"ACGTTGCAGGTATTTACGCA";
+        let long: Vec<u8> = unit.iter().cycle().take(2000).copied().collect();
+        let seed = SeedHit { a_pos: 0, b_pos: 0, k: 8 };
+        let good = extend_seed(&long, &long.clone(), seed, S, 15);
+        let mut bad_b = long[..20].to_vec();
+        bad_b.extend(std::iter::repeat_n(b'T', 1980));
+        let bad = extend_seed(&long, &bad_b, seed, S, 15);
+        assert!(
+            good.cells > 5 * bad.cells,
+            "good={} bad={}",
+            good.cells,
+            bad.cells
+        );
+        assert!(good.score > bad.score);
+    }
+}

@@ -1,0 +1,104 @@
+//! Design-choice ablations on the end-to-end pipeline (DESIGN.md §7):
+//!
+//! * **seed policy** — one-seed vs d=1000 vs d=k compute intensity (§5);
+//! * **m threshold** — repeat filtering vs the `m²` pair blow-up (Eq. 3);
+//! * **Bloom false-positive budget** — filter size vs singleton leakage;
+//! * **streaming round cap** — memory bound vs collective count.
+//!
+//! Each variant runs the full 4-rank pipeline on a fixed small synthetic
+//! dataset; Criterion reports wall time per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dibella_core::{run_pipeline, PipelineConfig};
+use dibella_datagen::{simulate_reads, ErrorModel, GenomeSpec, ReadSimSpec};
+use dibella_io::ReadSet;
+use dibella_overlap::SeedPolicy;
+use std::hint::black_box;
+
+fn tiny_reads() -> ReadSet {
+    let genome = GenomeSpec { size: 12_000, seed: 5, ..Default::default() }.generate();
+    simulate_reads(
+        &genome,
+        &ReadSimSpec {
+            depth: 8.0,
+            mean_len: 1_500,
+            min_len: 300,
+            errors: ErrorModel::pacbio(0.12),
+            seed: 6,
+            ..Default::default()
+        },
+    )
+    .reads
+}
+
+fn base_cfg() -> PipelineConfig {
+    PipelineConfig {
+        k: 15,
+        depth: 8.0,
+        error_rate: 0.12,
+        seed_policy: SeedPolicy::Single,
+        max_seeds_per_pair: 8,
+        ..Default::default()
+    }
+}
+
+fn bench_seed_policy(c: &mut Criterion) {
+    let reads = tiny_reads();
+    let mut g = c.benchmark_group("ablation_seed_policy");
+    g.sample_size(10);
+    for (name, policy) in SeedPolicy::paper_settings(15) {
+        let cfg = PipelineConfig { seed_policy: policy, ..base_cfg() };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pipeline(&reads, 4, cfg).n_pairs()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_m_threshold(c: &mut Criterion) {
+    let reads = tiny_reads();
+    let mut g = c.benchmark_group("ablation_m_threshold");
+    g.sample_size(10);
+    for m in [3u32, 8, 32, 128] {
+        let cfg = PipelineConfig { max_multiplicity: Some(m), ..base_cfg() };
+        g.bench_with_input(BenchmarkId::from_parameter(m), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pipeline(&reads, 4, cfg).n_pairs()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bloom_budget(c: &mut Criterion) {
+    let reads = tiny_reads();
+    let mut g = c.benchmark_group("ablation_bloom_fp");
+    g.sample_size(10);
+    for fp in [0.005f64, 0.05, 0.3] {
+        let cfg = PipelineConfig { bloom_fp_rate: fp, ..base_cfg() };
+        g.bench_with_input(BenchmarkId::from_parameter(fp), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pipeline(&reads, 4, cfg).n_pairs()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_cap(c: &mut Criterion) {
+    let reads = tiny_reads();
+    let mut g = c.benchmark_group("ablation_round_cap");
+    g.sample_size(10);
+    for cap in [512usize, 4096, 1 << 20] {
+        let cfg = PipelineConfig { max_kmers_per_round: cap, ..base_cfg() };
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pipeline(&reads, 4, cfg).n_pairs()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seed_policy,
+    bench_m_threshold,
+    bench_bloom_budget,
+    bench_round_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Communicator microbenchmarks: irregular all-to-all throughput and
+//! collective latency of the SPMD substrate at several world sizes — the
+//! in-process analogue of the MPI microbenchmarks behind Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dibella_comm::CommWorld;
+use std::hint::black_box;
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv");
+    g.sample_size(10);
+    for &p in &[2usize, 4, 8] {
+        for &kb in &[1usize, 64] {
+            let bytes_per_dest = kb * 1024;
+            g.throughput(Throughput::Bytes((p * p * bytes_per_dest) as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("p{p}"), format!("{kb}KiB/dest")),
+                &(p, bytes_per_dest),
+                |b, &(p, n)| {
+                    b.iter(|| {
+                        let out = CommWorld::run(p, |comm| {
+                            let send: Vec<Vec<u8>> = (0..p).map(|_| vec![7u8; n]).collect();
+                            let recv = comm.alltoallv_bytes(send);
+                            recv.iter().map(|v| v.len()).sum::<usize>()
+                        });
+                        black_box(out)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for &p in &[2usize, 8] {
+        g.bench_with_input(BenchmarkId::new("allreduce_sum", p), &p, |b, &p| {
+            b.iter(|| {
+                black_box(CommWorld::run(p, |comm| {
+                    comm.allreduce_sum_u64(comm.rank() as u64)
+                }))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("barrier_x10", p), &p, |b, &p| {
+            b.iter(|| {
+                CommWorld::run(p, |comm| {
+                    for _ in 0..10 {
+                        comm.barrier();
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoallv, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! k-mer machinery microbenchmarks: extraction throughput, owner hashing,
+//! Bloom filter insert/query, HyperLogLog insert, and hash-table
+//! occurrence recording — the per-op costs behind the
+//! `dibella_netmodel::costs` calibration constants.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dibella_kcount::{KcountConfig, KmerHashTable, Occurrence};
+use dibella_kmer::{extract_kmers, KmerIter, Strand};
+use dibella_sketch::{BloomFilter, HyperLogLog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_seq(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let seq = random_seq(100_000, 1);
+    let mut g = c.benchmark_group("kmer_extraction");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(seq.len() as u64));
+    g.bench_function("k17_iterate", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for h in KmerIter::<1>::new(&seq, 17) {
+                n = n.wrapping_add(h.kmer.words()[0]);
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("k17_collect", |b| {
+        b.iter(|| black_box(extract_kmers::<1>(&seq, 17).len()))
+    });
+    g.bench_function("k17_owner_hash", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for h in KmerIter::<1>::new(&seq, 17) {
+                acc = acc.wrapping_add(h.kmer.owner(1024));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    let n = 100_000u64;
+    let hashes: Vec<u64> = {
+        let seq = random_seq(n as usize + 16, 2);
+        KmerIter::<1>::new(&seq, 17).map(|h| h.kmer.hash64()).collect()
+    };
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(hashes.len() as u64));
+    g.bench_function("bloom_insert", |b| {
+        b.iter(|| {
+            let mut bf = BloomFilter::for_items(n, 0.05);
+            for &h in &hashes {
+                bf.insert(h);
+            }
+            black_box(bf.n_inserted())
+        })
+    });
+    g.bench_function("bloom_query", |b| {
+        let mut bf = BloomFilter::for_items(n, 0.05);
+        for &h in &hashes {
+            bf.insert(h);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &h in &hashes {
+                hits += bf.contains(h) as u64;
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("hll_insert", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::new(12);
+            for &h in &hashes {
+                hll.insert(h);
+            }
+            black_box(hll.estimate())
+        })
+    });
+    g.finish();
+}
+
+fn bench_hash_table(c: &mut Criterion) {
+    let seq = random_seq(50_000, 3);
+    let hits: Vec<_> = KmerIter::<1>::new(&seq, 17).collect();
+    let cfg = KcountConfig {
+        k: 17,
+        max_multiplicity: 8,
+        bloom_fp_rate: 0.05,
+        expected_distinct: 50_000,
+        max_kmers_per_round: 1 << 20,
+    };
+    let mut g = c.benchmark_group("hash_table");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(hits.len() as u64));
+    g.bench_function("insert_keys_then_occurrences", |b| {
+        b.iter(|| {
+            let mut t = KmerHashTable::with_capacity(hits.len());
+            for h in &hits {
+                t.insert_key(h.kmer);
+            }
+            for (i, h) in hits.iter().enumerate() {
+                t.record_occurrence(
+                    &h.kmer,
+                    Occurrence { read: i as u32 % 64, pos: h.pos, strand: Strand::Forward },
+                    &cfg,
+                );
+            }
+            black_box(t.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_sketches, bench_hash_table);
+criterion_main!(benches);

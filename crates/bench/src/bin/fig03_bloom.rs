@@ -1,0 +1,18 @@
+//! Figure 3 — Bloom filter stage cross-architecture performance,
+//! millions of k-mers processed per second, E. coli 30× one-seed.
+use dibella_bench::*;
+use dibella_core::Stage;
+use dibella_netmodel::mrate;
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let series = platform_series(&mut cache, Workload::E30, SeedPolicy::Single, |reports, proj, _| {
+        mrate(total_kmers(reports), proj.stage(Stage::Bloom).stage_seconds())
+    });
+    print_figure(
+        "Figure 3: Bloom Filter Performance (M k-mers/sec), E.coli 30x one-seed",
+        &NODE_COUNTS,
+        &series,
+    );
+}

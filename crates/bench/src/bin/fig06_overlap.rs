@@ -1,0 +1,18 @@
+//! Figure 6 — overlap stage cross-architecture performance, millions of
+//! retained k-mers per second, E. coli 30× one-seed.
+use dibella_bench::*;
+use dibella_core::Stage;
+use dibella_netmodel::mrate;
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let series = platform_series(&mut cache, Workload::E30, SeedPolicy::Single, |reports, proj, _| {
+        mrate(total_retained(reports), proj.stage(Stage::Overlap).stage_seconds())
+    });
+    print_figure(
+        "Figure 6: Overlap Performance (M retained k-mers/sec), E.coli 30x one-seed",
+        &NODE_COUNTS,
+        &series,
+    );
+}

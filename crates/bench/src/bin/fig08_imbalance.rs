@@ -1,0 +1,17 @@
+//! Figure 8 — alignment stage load imbalance (max over average per-rank
+//! stage time; 1.0 is perfect), E. coli 30× one-seed.
+use dibella_bench::*;
+use dibella_core::Stage;
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let series = platform_series(&mut cache, Workload::E30, SeedPolicy::Single, |_, proj, _| {
+        proj.stage(Stage::Align).imbalance()
+    });
+    print_figure(
+        "Figure 8: Alignment Stage Load Imbalance (perfect = 1.0), E.coli 30x one-seed",
+        &NODE_COUNTS,
+        &series,
+    );
+}

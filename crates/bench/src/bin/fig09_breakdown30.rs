@@ -1,0 +1,33 @@
+//! Figure 9 — runtime breakdown (% of pipeline time) by stage and
+//! local/exchange split, Cori XC40, E. coli 30× one-seed.
+use dibella_bench::*;
+use dibella_core::{project, Stage};
+use dibella_netmodel::{NodeMapping, CORI};
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    breakdown(Workload::E30, SeedPolicy::Single,
+        "Figure 9: Cori (XC40) Runtime Breakdown, E.coli 30x one-seed (% of total)");
+}
+
+pub(crate) fn breakdown(w: Workload, policy: SeedPolicy, title: &str) {
+    let mut cache = ReportCache::new();
+    println!("# {title}");
+    println!("nodes\tBF\tBF-exch\tHT\tHT-exch\tOV\tOV-exch\tAL\tAL-exch");
+    for &nodes in &NODE_COUNTS {
+        let mapping = NodeMapping::for_platform(&CORI, nodes);
+        let reports = cache.reports(w, policy, mapping.ranks());
+        let proj = project(&CORI, mapping, &reports);
+        let total = proj.total_seconds();
+        let mut row = format!("{nodes}");
+        for s in Stage::ALL {
+            let c = proj.stage(s);
+            row.push_str(&format!(
+                "\t{:.1}\t{:.1}",
+                100.0 * c.max_local() / total,
+                100.0 * c.max_exchange() / total
+            ));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 10 — runtime breakdown (% of pipeline time), Cori XC40,
+//! E. coli 100× with all seeds ≥ 1 kb apart (higher intensity).
+use dibella_bench::*;
+use dibella_core::{project, Stage};
+use dibella_netmodel::{NodeMapping, CORI};
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    println!("# Figure 10: Cori (XC40) Runtime Breakdown, E.coli 100x d=1K (% of total)");
+    println!("nodes\tBF\tBF-exch\tHT\tHT-exch\tOV\tOV-exch\tAL\tAL-exch");
+    for &nodes in &NODE_COUNTS {
+        let mapping = NodeMapping::for_platform(&CORI, nodes);
+        let reports = cache.reports(Workload::E100, SeedPolicy::MinDistance(1000), mapping.ranks());
+        let proj = project(&CORI, mapping, &reports);
+        let total = proj.total_seconds();
+        let mut row = format!("{nodes}");
+        for s in Stage::ALL {
+            let c = proj.stage(s);
+            row.push_str(&format!(
+                "\t{:.1}\t{:.1}",
+                100.0 * c.max_local() / total,
+                100.0 * c.max_exchange() / total
+            ));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 11 — overall pipeline efficiency on Cori across six workloads
+//! (E. coli 30×/100× × {one-seed, d=1K, d=k}), relative to one node.
+use dibella_bench::*;
+use dibella_core::project;
+use dibella_netmodel::{strong_efficiency, NodeMapping, Series, CORI};
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let mut series = Vec::new();
+    for (w, wname) in [(Workload::E30, "E.coli 30x"), (Workload::E100, "E.coli 100x")] {
+        for (pname, policy) in SeedPolicy::paper_settings(17) {
+            let mut total = |nodes: usize| {
+                let mapping = NodeMapping::for_platform(&CORI, nodes);
+                let reports = cache.reports(w, policy, mapping.ranks());
+                project(&CORI, mapping, &reports).total_seconds()
+            };
+            let t1 = total(1);
+            let points: Vec<(usize, f64)> = NODE_COUNTS
+                .iter()
+                .map(|&n| (n, strong_efficiency(t1, total(n), n)))
+                .collect();
+            series.push(Series::new(format!("{wname}, {pname}"), points));
+        }
+    }
+    print_figure(
+        "Figure 11: Overall Efficiency on Cori (XC40), varying workloads",
+        &NODE_COUNTS,
+        &series,
+    );
+}

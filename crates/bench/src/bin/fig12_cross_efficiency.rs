@@ -1,0 +1,35 @@
+//! Figure 12 — overall (solid) and exchange (dashed) efficiency per
+//! platform, relative to one node of the same machine, E. coli 30×
+//! one-seed.
+use dibella_bench::*;
+use dibella_core::project;
+use dibella_netmodel::{strong_efficiency, NodeMapping, Platform, Series};
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let mut series = Vec::new();
+    for platform in Platform::all() {
+        let mut times = |nodes: usize| {
+            let mapping = NodeMapping::for_platform(platform, nodes);
+            let reports = cache.reports(Workload::E30, SeedPolicy::Single, mapping.ranks());
+            let proj = project(platform, mapping, &reports);
+            (proj.total_seconds(), proj.exchange_seconds())
+        };
+        let (t1, e1) = times(1);
+        let mut overall = Vec::new();
+        let mut exchange = Vec::new();
+        for &n in &NODE_COUNTS {
+            let (tn, en) = times(n);
+            overall.push((n, strong_efficiency(t1, tn, n)));
+            exchange.push((n, strong_efficiency(e1, en, n)));
+        }
+        series.push(Series::new(format!("{} overall", platform.name), overall));
+        series.push(Series::new(format!("{} exchange", platform.name), exchange));
+    }
+    print_figure(
+        "Figure 12: diBELLA overall and exchange efficiency, E.coli 30x one-seed",
+        &NODE_COUNTS,
+        &series,
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 13 — full-pipeline cross-architecture strong scaling, millions
+//! of alignments per second, E. coli 30× one-seed.
+use dibella_bench::*;
+use dibella_netmodel::mrate;
+use dibella_overlap::SeedPolicy;
+
+fn main() {
+    let mut cache = ReportCache::new();
+    let series = platform_series(&mut cache, Workload::E30, SeedPolicy::Single, |reports, proj, _| {
+        mrate(total_alignments(reports), proj.total_seconds())
+    });
+    print_figure(
+        "Figure 13: diBELLA Performance (M alignments/sec, full pipeline), E.coli 30x one-seed",
+        &NODE_COUNTS,
+        &series,
+    );
+}

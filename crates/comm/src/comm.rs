@@ -1,0 +1,312 @@
+//! The per-rank communicator handle.
+//!
+//! Mirrors the MPI surface diBELLA uses (paper §4: "the communication
+//! implemented via MPI Alltoall and Alltoallv functions", plus reductions
+//! and an exclusive scan for global read-ID assignment). Every collective
+//! must be called by **all** ranks of the world in the same order — the
+//! usual MPI contract; violations panic via the hub's slot checks.
+
+use crate::hub::Hub;
+use crate::stats::CommStats;
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Communicator handle owned by one rank's thread.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    hub: Arc<Hub>,
+    stats: RefCell<CommStats>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, hub: Arc<Hub>) -> Self {
+        let size = hub.size();
+        Self {
+            rank,
+            size,
+            hub,
+            stats: RefCell::new(CommStats::new(size)),
+        }
+    }
+
+    /// This rank's index in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (number of ranks).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot and reset the communication counters (stage boundary).
+    pub fn take_stats(&self) -> CommStats {
+        std::mem::replace(&mut self.stats.borrow_mut(), CommStats::new(self.size))
+    }
+
+    /// Peek at the counters without resetting.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.stats.borrow_mut().barriers += 1;
+        self.hub.wait();
+    }
+
+    /// Irregular all-to-all: element `d` of `send` goes to rank `d`;
+    /// returns the buffers received from every source rank, indexed by
+    /// source. Per-source ordering is preserved (deterministic).
+    ///
+    /// # Panics
+    /// Panics if `send.len() != size()`.
+    pub fn alltoallv<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(send.len(), self.size, "alltoallv needs one buffer per rank");
+        let t0 = Instant::now();
+        self.stats.borrow_mut().record_exchange(
+            send.iter().map(|b| b.len() * std::mem::size_of::<T>()),
+        );
+        for (dst, buf) in send.into_iter().enumerate() {
+            self.hub.put(self.rank, dst, Box::new(buf));
+        }
+        self.hub.wait();
+        let recv: Vec<Vec<T>> = (0..self.size)
+            .map(|src| self.hub.take::<Vec<T>>(src, self.rank))
+            .collect();
+        self.hub.wait();
+        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        recv
+    }
+
+    /// Byte-buffer variant of [`Self::alltoallv`] — the wire-level form the
+    /// pipeline's packed messages use.
+    pub fn alltoallv_bytes(&self, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        self.alltoallv(send)
+    }
+
+    /// Dense all-to-all of one fixed-size value per destination (the
+    /// `MPI_Alltoall` used to exchange counts ahead of an `Alltoallv`).
+    pub fn alltoall<T: Send + Clone + 'static>(&self, send: Vec<T>) -> Vec<T> {
+        assert_eq!(send.len(), self.size);
+        self.stats.borrow_mut().dense_collectives += 1;
+        let t0 = Instant::now();
+        for (dst, v) in send.into_iter().enumerate() {
+            self.hub.put(self.rank, dst, Box::new(v));
+        }
+        self.hub.wait();
+        let recv: Vec<T> = (0..self.size)
+            .map(|src| self.hub.take::<T>(src, self.rank))
+            .collect();
+        self.hub.wait();
+        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        recv
+    }
+
+    /// Gather one value from every rank onto every rank (allgather).
+    pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> Vec<T> {
+        self.stats.borrow_mut().dense_collectives += 1;
+        let t0 = Instant::now();
+        // Deposit into our own row once per destination; cloning P times is
+        // the cost MPI pays for the broadcast tree, flattened.
+        for dst in 0..self.size {
+            self.hub.put(self.rank, dst, Box::new(value.clone()));
+        }
+        self.hub.wait();
+        let out: Vec<T> = (0..self.size)
+            .map(|src| self.hub.take::<T>(src, self.rank))
+            .collect();
+        self.hub.wait();
+        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        out
+    }
+
+    /// Reduce with `op` across all ranks; every rank receives the result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.allgather(value);
+        let mut it = all.into_iter();
+        let first = it.next().expect("world is non-empty");
+        it.fold(first, op)
+    }
+
+    /// Sum-allreduce over `u64`.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Max-allreduce over `u64`.
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        self.allreduce(v, u64::max)
+    }
+
+    /// Sum-allreduce over `f64`.
+    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
+        self.allreduce(v, |a, b| a + b)
+    }
+
+    /// Exclusive prefix sum (`MPI_Exscan`): rank r receives the sum of the
+    /// values of ranks `0..r`; rank 0 receives 0. Used to assign global
+    /// read IDs after block-parallel input.
+    pub fn exscan_sum_u64(&self, v: u64) -> u64 {
+        let all = self.allgather(v);
+        all[..self.rank].iter().sum()
+    }
+
+    /// Broadcast `value` from `root` to all ranks.
+    pub fn broadcast<T: Send + Clone + 'static>(&self, value: Option<T>, root: usize) -> T {
+        assert!(root < self.size);
+        self.stats.borrow_mut().dense_collectives += 1;
+        if self.rank == root {
+            let v = value.expect("root must supply the broadcast value");
+            for dst in 0..self.size {
+                self.hub.put(self.rank, dst, Box::new(v.clone()));
+            }
+        }
+        self.hub.wait();
+        let out: T = self.hub.take(root, self.rank);
+        self.hub.wait();
+        out
+    }
+
+    /// Gather every rank's value at `root`; others receive `None`.
+    pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
+        assert!(root < self.size);
+        self.stats.borrow_mut().dense_collectives += 1;
+        self.hub.put(self.rank, root, Box::new(value));
+        self.hub.wait();
+        let out = (self.rank == root).then(|| {
+            (0..self.size)
+                .map(|src| self.hub.take::<T>(src, self.rank))
+                .collect()
+        });
+        self.hub.wait();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::CommWorld;
+
+    #[test]
+    fn alltoallv_routes_correctly() {
+        let results = CommWorld::run(4, |comm| {
+            let send: Vec<Vec<u32>> = (0..4)
+                .map(|dst| vec![(comm.rank() * 100 + dst) as u32])
+                .collect();
+            comm.alltoallv(send)
+        });
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, buf) in recv.iter().enumerate() {
+                assert_eq!(buf, &vec![(src * 100 + rank) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_preserves_order_and_counts() {
+        let results = CommWorld::run(3, |comm| {
+            let send: Vec<Vec<u64>> = (0..3)
+                .map(|dst| (0..(comm.rank() + 1) as u64 * 2).map(|i| i + dst as u64).collect())
+                .collect();
+            comm.alltoallv(send)
+        });
+        for recv in &results {
+            for (src, buf) in recv.iter().enumerate() {
+                assert_eq!(buf.len(), (src + 1) * 2);
+                // Order within a source preserved (strictly increasing).
+                assert!(buf.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_and_scan() {
+        let results = CommWorld::run(5, |comm| {
+            let r = comm.rank() as u64;
+            (
+                comm.allreduce_sum_u64(r + 1),
+                comm.allreduce_max_u64(r),
+                comm.exscan_sum_u64(10),
+                comm.allreduce_sum_f64(0.5),
+            )
+        });
+        for (rank, &(sum, max, scan, fsum)) in results.iter().enumerate() {
+            assert_eq!(sum, 15);
+            assert_eq!(max, 4);
+            assert_eq!(scan, 10 * rank as u64);
+            assert!((fsum - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_gather() {
+        let results = CommWorld::run(4, |comm| {
+            let bc = comm.broadcast(
+                (comm.rank() == 2).then(|| vec![7u8, 8, 9]),
+                2,
+            );
+            let g = comm.gather(comm.rank() as u32, 0);
+            (bc, g)
+        });
+        for (rank, (bc, g)) in results.iter().enumerate() {
+            assert_eq!(bc, &vec![7u8, 8, 9]);
+            if rank == 0 {
+                assert_eq!(g.as_ref().unwrap(), &vec![0u32, 1, 2, 3]);
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes_and_msgs() {
+        let results = CommWorld::run(2, |comm| {
+            let send: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+            let _ = comm.alltoallv(send);
+            comm.take_stats()
+        });
+        let s0 = &results[0];
+        assert_eq!(s0.dest_bytes[0], 8);
+        assert_eq!(s0.dest_bytes[1], 0);
+        assert_eq!(s0.total_msgs(), 1);
+        assert_eq!(s0.alltoallv_calls, 1);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let results = CommWorld::run(2, |comm| {
+            comm.barrier();
+            let first = comm.take_stats();
+            let second = comm.take_stats();
+            (first.barriers, second.barriers)
+        });
+        assert_eq!(results[0], (1, 0));
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let results = CommWorld::run(1, |comm| {
+            let recv = comm.alltoallv(vec![vec![42u8]]);
+            (recv[0].clone(), comm.allreduce_sum_u64(9))
+        });
+        assert_eq!(results[0].0, vec![42]);
+        assert_eq!(results[0].1, 9);
+    }
+
+    #[test]
+    fn allgather_order() {
+        let results = CommWorld::run(3, |comm| comm.allgather(comm.rank() as u8 * 3));
+        for r in &results {
+            assert_eq!(r, &vec![0u8, 3, 6]);
+        }
+    }
+}

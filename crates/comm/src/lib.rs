@@ -1,0 +1,36 @@
+//! # dibella-comm
+//!
+//! The distributed-memory substrate of this diBELLA reproduction: an SPMD
+//! world of thread-per-rank processes in one address space, exposing the
+//! MPI collectives the paper's pipeline is built on (`Alltoall`,
+//! `Alltoallv`, reductions, exclusive scan, gather, broadcast, barrier)
+//! with exact per-destination traffic accounting.
+//!
+//! The paper ran on MPI over Cray Aries/Gemini and AWS Ethernet; here the
+//! transport is shared memory, but the *code path* — pack per-destination
+//! buffers, irregular exchange, unpack — and the bytes/messages recorded
+//! are identical, which is what the `dibella-netmodel` projections
+//! consume. See DESIGN.md §2 for the substitution argument.
+//!
+//! ```
+//! use dibella_comm::CommWorld;
+//!
+//! let sums = CommWorld::run(4, |comm| {
+//!     // Each rank contributes rank+1; everyone learns the total.
+//!     comm.allreduce_sum_u64(comm.rank() as u64 + 1)
+//! });
+//! assert_eq!(sums, vec![10, 10, 10, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod comm;
+mod hub;
+pub mod stats;
+pub mod wire;
+mod world;
+
+pub use comm::Comm;
+pub use stats::CommStats;
+pub use wire::{decode_iter, decode_vec, encode_slice, Wire};
+pub use world::CommWorld;

@@ -1,0 +1,146 @@
+//! Exact communication accounting.
+//!
+//! The cross-architecture projections (Figures 3–13) are driven by the
+//! *exact* number of bytes and messages each rank exchanges in each
+//! pipeline stage, so the communicator records, per destination rank, the
+//! bytes and message count of every collective. A "message" here is one
+//! non-empty point-to-point buffer inside an irregular collective — the
+//! same unit an MPI implementation would transfer for `MPI_Alltoallv`.
+
+use std::time::Duration;
+
+/// Per-rank communication counters, reset at stage boundaries via
+/// [`crate::Comm::take_stats`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommStats {
+    /// Bytes this rank sent to each destination rank (including itself —
+    /// the model decides what self/on-node traffic costs).
+    pub dest_bytes: Vec<u64>,
+    /// Non-empty buffers sent to each destination rank.
+    pub dest_msgs: Vec<u64>,
+    /// Number of `alltoallv`-style irregular exchanges.
+    pub alltoallv_calls: u64,
+    /// Number of dense collectives (alltoall counts, reduces, gathers,
+    /// broadcasts, scans).
+    pub dense_collectives: u64,
+    /// Number of bare barriers.
+    pub barriers: u64,
+    /// Wall-clock time spent inside collective calls (meaningful when the
+    /// host is not oversubscribed; the figure harness uses byte counts
+    /// instead).
+    pub exchange_wall: Duration,
+}
+
+impl CommStats {
+    /// Zeroed counters for a world of `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Self {
+            dest_bytes: vec![0; p],
+            dest_msgs: vec![0; p],
+            ..Self::default()
+        }
+    }
+
+    /// Total bytes sent (all destinations, self included).
+    pub fn total_bytes(&self) -> u64 {
+        self.dest_bytes.iter().sum()
+    }
+
+    /// Bytes sent to ranks other than `self_rank`.
+    pub fn remote_bytes(&self, self_rank: usize) -> u64 {
+        self.dest_bytes
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != self_rank)
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Total non-empty messages sent.
+    pub fn total_msgs(&self) -> u64 {
+        self.dest_msgs.iter().sum()
+    }
+
+    /// Bytes sent to destinations for which `on_node(dest)` is true /
+    /// false — the split the network model charges at memory vs. injection
+    /// bandwidth.
+    pub fn split_bytes<F: Fn(usize) -> bool>(&self, on_node: F) -> (u64, u64) {
+        let mut on = 0u64;
+        let mut off = 0u64;
+        for (d, &b) in self.dest_bytes.iter().enumerate() {
+            if on_node(d) {
+                on += b;
+            } else {
+                off += b;
+            }
+        }
+        (on, off)
+    }
+
+    /// Merge another stats block into this one (for aggregating rounds).
+    pub fn merge(&mut self, other: &CommStats) {
+        if self.dest_bytes.len() < other.dest_bytes.len() {
+            self.dest_bytes.resize(other.dest_bytes.len(), 0);
+            self.dest_msgs.resize(other.dest_msgs.len(), 0);
+        }
+        for (a, &b) in self.dest_bytes.iter_mut().zip(&other.dest_bytes) {
+            *a += b;
+        }
+        for (a, &b) in self.dest_msgs.iter_mut().zip(&other.dest_msgs) {
+            *a += b;
+        }
+        self.alltoallv_calls += other.alltoallv_calls;
+        self.dense_collectives += other.dense_collectives;
+        self.barriers += other.barriers;
+        self.exchange_wall += other.exchange_wall;
+    }
+
+    pub(crate) fn record_exchange(&mut self, sizes: impl Iterator<Item = usize>) {
+        for (d, s) in sizes.enumerate() {
+            self.dest_bytes[d] += s as u64;
+            if s > 0 {
+                self.dest_msgs[d] += 1;
+            }
+        }
+        self.alltoallv_calls += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = CommStats::new(4);
+        s.record_exchange([10usize, 0, 5, 3].into_iter());
+        assert_eq!(s.total_bytes(), 18);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.remote_bytes(0), 8);
+        assert_eq!(s.alltoallv_calls, 1);
+    }
+
+    #[test]
+    fn split_on_off_node() {
+        let mut s = CommStats::new(4);
+        s.record_exchange([1usize, 2, 4, 8].into_iter());
+        // Ranks 0-1 on node, 2-3 off node.
+        let (on, off) = s.split_bytes(|d| d < 2);
+        assert_eq!(on, 3);
+        assert_eq!(off, 12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::new(2);
+        a.record_exchange([1usize, 2].into_iter());
+        let mut b = CommStats::new(2);
+        b.record_exchange([10usize, 0].into_iter());
+        b.barriers = 3;
+        a.merge(&b);
+        assert_eq!(a.dest_bytes, vec![11, 2]);
+        assert_eq!(a.dest_msgs, vec![2, 1]);
+        assert_eq!(a.alltoallv_calls, 2);
+        assert_eq!(a.barriers, 3);
+    }
+}

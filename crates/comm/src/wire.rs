@@ -1,0 +1,167 @@
+//! Fixed-layout wire encoding for hot-path messages.
+//!
+//! MPI applications exchange raw derived-type buffers; serde would both
+//! blur the byte accounting and slow the data plane. `Wire` types encode
+//! to a fixed number of little-endian bytes, so a packed buffer of `n`
+//! records is exactly `n * SIZE` bytes — the figure the network model
+//! charges for.
+
+/// A fixed-size, self-describing wire codec.
+pub trait Wire: Sized {
+    /// Encoded size in bytes (constant per type).
+    const SIZE: usize;
+
+    /// Append the encoding of `self` to `out`.
+    fn write(&self, out: &mut Vec<u8>);
+
+    /// Decode from the first `SIZE` bytes of `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len() < SIZE`.
+    fn read(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (A::read(buf), B::read(&buf[A::SIZE..]))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (
+            A::read(buf),
+            B::read(&buf[A::SIZE..]),
+            C::read(&buf[A::SIZE + B::SIZE..]),
+        )
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE + D::SIZE;
+    #[inline]
+    fn write(&self, out: &mut Vec<u8>) {
+        self.0.write(out);
+        self.1.write(out);
+        self.2.write(out);
+        self.3.write(out);
+    }
+    #[inline]
+    fn read(buf: &[u8]) -> Self {
+        (
+            A::read(buf),
+            B::read(&buf[A::SIZE..]),
+            C::read(&buf[A::SIZE + B::SIZE..]),
+            D::read(&buf[A::SIZE + B::SIZE + C::SIZE..]),
+        )
+    }
+}
+
+/// Encode a slice of records into one contiguous buffer.
+pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(items.len() * T::SIZE);
+    for item in items {
+        item.write(&mut out);
+    }
+    out
+}
+
+/// Decode a buffer previously produced by [`encode_slice`].
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of `T::SIZE` (corrupt or
+/// mismatched message).
+pub fn decode_vec<T: Wire>(buf: &[u8]) -> Vec<T> {
+    assert_eq!(
+        buf.len() % T::SIZE,
+        0,
+        "buffer length {} not a multiple of record size {}",
+        buf.len(),
+        T::SIZE
+    );
+    buf.chunks_exact(T::SIZE).map(T::read).collect()
+}
+
+/// Iterate over decoded records without materializing a vector.
+pub fn decode_iter<'a, T: Wire + 'a>(buf: &'a [u8]) -> impl Iterator<Item = T> + 'a {
+    assert_eq!(buf.len() % T::SIZE, 0);
+    buf.chunks_exact(T::SIZE).map(T::read)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_round_trip() {
+        let mut buf = Vec::new();
+        0xDEAD_BEEFu32.write(&mut buf);
+        (-7i64).write(&mut buf);
+        assert_eq!(buf.len(), 12);
+        assert_eq!(u32::read(&buf), 0xDEAD_BEEF);
+        assert_eq!(i64::read(&buf[4..]), -7);
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let v = (3u32, 9u64, 1u8);
+        let mut buf = Vec::new();
+        v.write(&mut buf);
+        assert_eq!(buf.len(), <(u32, u64, u8)>::SIZE);
+        assert_eq!(<(u32, u64, u8)>::read(&buf), v);
+    }
+
+    #[test]
+    fn slice_codec_round_trip() {
+        let items: Vec<(u32, u32)> = (0..100).map(|i| (i, i * i)).collect();
+        let buf = encode_slice(&items);
+        assert_eq!(buf.len(), 100 * 8);
+        assert_eq!(decode_vec::<(u32, u32)>(&buf), items);
+        let collected: Vec<(u32, u32)> = decode_iter(&buf).collect();
+        assert_eq!(collected, items);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_buffer_panics() {
+        let _ = decode_vec::<u32>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn empty_buffer_ok() {
+        assert!(decode_vec::<u64>(&[]).is_empty());
+    }
+}

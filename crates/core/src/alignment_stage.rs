@@ -1,0 +1,303 @@
+//! Stage 4 — read redistribution and pairwise alignment (paper §9).
+//!
+//! "Because the pairwise alignments require the full reads, any non-local
+//! reads are requested and received by the respective processor." Each
+//! rank collects the remote read IDs its tasks reference, requests them
+//! from their owners (one irregular exchange), receives the sequences
+//! (a second irregular exchange of variable-length records), then runs
+//! the x-drop kernel on every (pair, seed) task locally.
+
+use crate::config::PipelineConfig;
+use crate::record::AlignmentRecord;
+use dibella_align::{extend_seed, SeedHit};
+use dibella_comm::{decode_vec, encode_slice, Comm};
+use dibella_io::{ReadId, ReadStore};
+use dibella_kmer::base::reverse_complement_ascii;
+use dibella_overlap::OverlapTask;
+use std::collections::HashSet;
+
+/// Work counters of the alignment stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AlignCounters {
+    /// Alignment tasks (pairs) processed on this rank.
+    pub tasks: u64,
+    /// Pairwise alignments computed (one per explored seed).
+    pub alignments: u64,
+    /// Total DP cells updated by the x-drop kernel.
+    pub dp_cells: u64,
+    /// Remote reads this rank requested.
+    pub reads_requested: u64,
+    /// Read-sequence bytes this rank served to others.
+    pub read_bytes_served: u64,
+    /// Read-sequence bytes this rank received.
+    pub read_bytes_fetched: u64,
+    /// Alignments meeting the output score threshold.
+    pub accepted: u64,
+}
+
+/// Fetch every remote read referenced by `tasks` into `store` (two
+/// irregular exchanges: ID requests, then sequence replies).
+pub fn fetch_remote_reads(
+    comm: &Comm,
+    store: &mut ReadStore,
+    tasks: &[OverlapTask],
+    counters: &mut AlignCounters,
+) {
+    let p = comm.size();
+
+    // ---- request IDs from their owners -----------------------------------
+    let mut needed: HashSet<ReadId> = HashSet::new();
+    for t in tasks {
+        for id in [t.pair.a, t.pair.b] {
+            if !store.is_local(id) {
+                needed.insert(id);
+            }
+        }
+    }
+    counters.reads_requested = needed.len() as u64;
+    let mut req_bufs: Vec<Vec<u32>> = vec![Vec::new(); p];
+    for id in needed {
+        req_bufs[store.owner_of(id)].push(id);
+    }
+    // Sort requests for determinism.
+    for b in req_bufs.iter_mut() {
+        b.sort_unstable();
+    }
+    let requests = comm.alltoallv_bytes(req_bufs.into_iter().map(|b| encode_slice(&b)).collect());
+
+    // ---- serve sequences ---------------------------------------------------
+    // Reply record: u32 id, u32 len, then `len` sequence bytes.
+    let mut reply_bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
+    for (src, buf) in requests.into_iter().enumerate() {
+        for id in decode_vec::<u32>(&buf) {
+            let seq = store
+                .local_seq(id)
+                .unwrap_or_else(|| panic!("rank {} asked rank {} for read {id} it does not own",
+                    src, comm.rank()));
+            counters.read_bytes_served += seq.len() as u64;
+            let out = &mut reply_bufs[src];
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+            out.extend_from_slice(seq);
+        }
+    }
+    let replies = comm.alltoallv_bytes(reply_bufs);
+
+    // ---- install replicated reads ------------------------------------------
+    for buf in replies {
+        let mut at = 0usize;
+        while at < buf.len() {
+            let id = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+            let len = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()) as usize;
+            at += 8;
+            let seq = buf[at..at + len].to_vec();
+            at += len;
+            counters.read_bytes_fetched += len as u64;
+            store.insert_replicated(id, seq);
+        }
+    }
+}
+
+/// Align every (pair, seed) task against the now-complete local read set.
+///
+/// Seed coordinates are stored on each read's forward strand; when the
+/// pair's relative orientation is reversed, read `b` is reverse-
+/// complemented and the seed position mapped to `len(b) − k − pos`
+/// (coordinates in the output stay in the oriented frame, flagged by
+/// [`AlignmentRecord::reverse`]).
+pub fn align_tasks(
+    store: &ReadStore,
+    tasks: &[OverlapTask],
+    cfg: &PipelineConfig,
+    counters: &mut AlignCounters,
+) -> Vec<AlignmentRecord> {
+    let mut out = Vec::new();
+    let k = cfg.k;
+    for task in tasks {
+        counters.tasks += 1;
+        let a_seq = store
+            .seq(task.pair.a)
+            .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.a));
+        let b_seq = store
+            .seq(task.pair.b)
+            .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.b));
+        // Oriented copy of b, built at most once per task.
+        let mut b_rc: Option<Vec<u8>> = None;
+        for seed in &task.seeds {
+            let (b_oriented, b_pos): (&[u8], usize) = if seed.reverse {
+                let rc = b_rc.get_or_insert_with(|| reverse_complement_ascii(b_seq));
+                (rc.as_slice(), b_seq.len() - k - seed.b_pos as usize)
+            } else {
+                (b_seq, seed.b_pos as usize)
+            };
+            let hit = SeedHit { a_pos: seed.a_pos as usize, b_pos, k };
+            let al = extend_seed(a_seq, b_oriented, hit, cfg.scoring, cfg.xdrop);
+            counters.alignments += 1;
+            counters.dp_cells += al.cells;
+            if al.score >= cfg.min_align_score {
+                counters.accepted += 1;
+                out.push(AlignmentRecord {
+                    pair: task.pair,
+                    reverse: seed.reverse,
+                    score: al.score,
+                    a_start: al.a_start as u32,
+                    a_end: al.a_end as u32,
+                    b_start: al.b_start as u32,
+                    b_end: al.b_end as u32,
+                    cells: al.cells,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_comm::CommWorld;
+    use dibella_io::{partition_reads, Read, ReadPartition, ReadSet};
+    use dibella_overlap::{ReadPair, SharedSeed};
+
+    fn store_world(
+        reads: &ReadSet,
+        p: usize,
+    ) -> (ReadPartition, Vec<ReadSet>) {
+        partition_reads(reads, p)
+    }
+
+    fn mk_reads() -> ReadSet {
+        let mut state = 0xABCDu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..6u32)
+            .map(|i| {
+                let seq: Vec<u8> = (0..60).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+                Read::new(i, format!("r{i}"), seq)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fetch_installs_exactly_the_needed_remotes() {
+        let reads = mk_reads();
+        let (part, chunks) = store_world(&reads, 3);
+        let all: Vec<Read> = reads.reads().to_vec();
+        let outs = CommWorld::run(3, |comm| {
+            let mut store = ReadStore::new(
+                comm.rank(),
+                part.clone(),
+                chunks[comm.rank()].clone().into_reads(),
+            );
+            // Every rank needs reads 0 and 5 (owners: rank 0 and rank 2).
+            let tasks = vec![OverlapTask {
+                pair: ReadPair::new(0, 5),
+                seeds: vec![SharedSeed { a_pos: 0, b_pos: 0, reverse: false }],
+            }];
+            let mut c = AlignCounters::default();
+            fetch_remote_reads(comm, &mut store, &tasks, &mut c);
+            (
+                store.seq(0).map(|s| s.to_vec()),
+                store.seq(5).map(|s| s.to_vec()),
+                c,
+            )
+        });
+        for (rank, (s0, s5, c)) in outs.iter().enumerate() {
+            assert_eq!(s0.as_deref(), Some(all[0].seq.as_slice()), "rank {rank}");
+            assert_eq!(s5.as_deref(), Some(all[5].seq.as_slice()), "rank {rank}");
+            // Owners of both reads requested fewer.
+            assert!(c.reads_requested <= 2);
+        }
+    }
+
+    #[test]
+    fn align_tasks_on_engineered_overlap() {
+        // Two reads overlapping over their halves.
+        let mut state = 0x77u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let genome: Vec<u8> = (0..150).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+        let a = genome[0..100].to_vec();
+        let b = genome[50..150].to_vec();
+        let reads: ReadSet = vec![Read::new(0, "a", a.clone()), Read::new(1, "b", b.clone())]
+            .into_iter()
+            .collect();
+        let (part, chunks) = partition_reads(&reads, 1);
+        let store = ReadStore::new(0, part, chunks[0].clone().into_reads());
+        // Shared seed: a[60..77] == b[10..27].
+        let cfg = PipelineConfig { k: 17, xdrop: 30, ..Default::default() };
+        let tasks = vec![OverlapTask {
+            pair: ReadPair::new(0, 1),
+            seeds: vec![SharedSeed { a_pos: 60, b_pos: 10, reverse: false }],
+        }];
+        let mut c = AlignCounters::default();
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        // Perfect 50-base overlap: score = 50, spanning a[50..100], b[0..50].
+        assert_eq!(r.score, 50);
+        assert_eq!((r.a_start, r.a_end), (50, 100));
+        assert_eq!((r.b_start, r.b_end), (0, 50));
+        assert_eq!(c.alignments, 1);
+        assert!(c.dp_cells > 0);
+    }
+
+    #[test]
+    fn reverse_oriented_task_aligns() {
+        let mut state = 0x99u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let template: Vec<u8> = (0..80).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+        let a = template.clone();
+        let b = reverse_complement_ascii(&template);
+        // Canonical k-mer of a[20..37]: find its position in b's forward
+        // coords: the window maps to b[80-37 .. 80-20] = b[43..60].
+        let reads: ReadSet = vec![Read::new(0, "a", a.clone()), Read::new(1, "b", b.clone())]
+            .into_iter()
+            .collect();
+        let (part, chunks) = partition_reads(&reads, 1);
+        let store = ReadStore::new(0, part, chunks[0].clone().into_reads());
+        let cfg = PipelineConfig { k: 17, xdrop: 30, ..Default::default() };
+        let tasks = vec![OverlapTask {
+            pair: ReadPair::new(0, 1),
+            seeds: vec![SharedSeed { a_pos: 20, b_pos: 43, reverse: true }],
+        }];
+        let mut c = AlignCounters::default();
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        assert_eq!(recs.len(), 1);
+        // Full-length reverse overlap: 80 matches.
+        assert_eq!(recs[0].score, 80);
+        assert!(recs[0].reverse);
+    }
+
+    #[test]
+    fn score_threshold_filters_output_not_cost() {
+        let reads = mk_reads();
+        let (part, chunks) = partition_reads(&reads, 1);
+        let store = ReadStore::new(0, part, chunks[0].clone().into_reads());
+        // Random unrelated reads: any seed yields a tiny score.
+        let cfg = PipelineConfig { k: 8, min_align_score: 1_000, ..Default::default() };
+        let tasks = vec![OverlapTask {
+            pair: ReadPair::new(0, 1),
+            seeds: vec![SharedSeed { a_pos: 0, b_pos: 0, reverse: false }],
+        }];
+        let mut c = AlignCounters::default();
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        assert!(recs.is_empty());
+        assert_eq!(c.alignments, 1);
+        assert_eq!(c.accepted, 0);
+        assert!(c.dp_cells > 0, "alignment must still be computed");
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end pipeline configuration.
+
+use dibella_align::Scoring;
+use dibella_kcount::KcountConfig;
+use dibella_kmer::params;
+use dibella_overlap::{OverlapConfig, SeedPolicy, TaskPlacement};
+
+/// Configuration of the full four-stage pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// k-mer length (≤ 32; the paper's typical value is 17).
+    pub k: usize,
+    /// Assumed per-base error rate of the data (drives `m`).
+    pub error_rate: f64,
+    /// Assumed depth of coverage (drives `m`).
+    pub depth: f64,
+    /// Override the derived high-occurrence threshold `m`.
+    pub max_multiplicity: Option<u32>,
+    /// Seed exploration policy (one-seed / min-distance; paper §5).
+    pub seed_policy: SeedPolicy,
+    /// Cap on seeds explored per pair.
+    pub max_seeds_per_pair: usize,
+    /// x-drop termination parameter `X` of the alignment kernel.
+    pub xdrop: i32,
+    /// Alignment scoring scheme.
+    pub scoring: Scoring,
+    /// Alignments scoring below this are dropped from the output (the
+    /// per-seed alignment is still *computed* — cost is unchanged).
+    pub min_align_score: i32,
+    /// Streaming cap per rank and round in the k-mer passes.
+    pub max_kmers_per_round: usize,
+    /// Bloom filter false-positive target.
+    pub bloom_fp_rate: f64,
+    /// When set, run a distributed HyperLogLog pre-pass of this precision
+    /// to size the Bloom filter instead of the Eq.-2 estimate (paper §6:
+    /// HipMer's fallback for extremely large / repetitive genomes).
+    pub hll_precision: Option<u8>,
+    /// Alignment-task placement: the paper's parity heuristic, or the §9
+    /// future-work longer-read placement that minimizes read movement.
+    pub placement: TaskPlacement,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            k: 17,
+            error_rate: 0.15,
+            depth: 30.0,
+            max_multiplicity: None,
+            seed_policy: SeedPolicy::Single,
+            max_seeds_per_pair: 16,
+            xdrop: 25,
+            scoring: Scoring::bella(),
+            min_align_score: 0,
+            max_kmers_per_round: 1 << 20,
+            bloom_fp_rate: 0.05,
+            hll_precision: None,
+            placement: TaskPlacement::Parity,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The effective high-occurrence threshold: the override if set, else
+    /// BELLA's Poisson-derived value for (depth, error, k).
+    pub fn multiplicity_threshold(&self) -> u32 {
+        self.max_multiplicity.unwrap_or_else(|| {
+            params::reliable_max_multiplicity(
+                self.depth,
+                self.error_rate,
+                self.k,
+                params::defaults::EPSILON,
+            )
+        })
+    }
+
+    /// Derive the k-mer-analysis configuration for a given input size.
+    pub fn kcount(&self, total_bases: u64) -> KcountConfig {
+        let mut kc = KcountConfig::from_dataset(total_bases.max(1), self.depth, self.error_rate, self.k);
+        kc.max_multiplicity = self.multiplicity_threshold();
+        kc.bloom_fp_rate = self.bloom_fp_rate;
+        kc.max_kmers_per_round = self.max_kmers_per_round;
+        kc
+    }
+
+    /// Derive the overlap-stage configuration.
+    pub fn overlap(&self) -> OverlapConfig {
+        OverlapConfig {
+            policy: self.seed_policy,
+            max_seeds_per_pair: self.max_seeds_per_pair,
+            placement: self.placement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.k, 17);
+        assert_eq!(cfg.seed_policy, SeedPolicy::Single);
+        assert!(cfg.xdrop > 0);
+        // Derived m is the BELLA Poisson threshold.
+        let m = cfg.multiplicity_threshold();
+        assert!((2..=12).contains(&m), "m = {m}");
+    }
+
+    #[test]
+    fn override_wins() {
+        let cfg = PipelineConfig { max_multiplicity: Some(77), ..Default::default() };
+        assert_eq!(cfg.multiplicity_threshold(), 77);
+        assert_eq!(cfg.kcount(1_000_000).max_multiplicity, 77);
+    }
+
+    #[test]
+    fn kcount_inherits_knobs() {
+        let cfg = PipelineConfig { max_kmers_per_round: 4096, bloom_fp_rate: 0.2, ..Default::default() };
+        let kc = cfg.kcount(1_000_000);
+        assert_eq!(kc.max_kmers_per_round, 4096);
+        assert_eq!(kc.bloom_fp_rate, 0.2);
+        assert_eq!(kc.k, 17);
+    }
+}

@@ -1,0 +1,375 @@
+//! The four-stage diBELLA pipeline driver (paper §4).
+//!
+//! [`pipeline_rank`] is the SPMD body one rank executes; [`run_pipeline`]
+//! launches a whole world over an in-memory read set, and
+//! [`run_pipeline_fastq`] additionally exercises the parallel-input path
+//! (block-partitioned FASTQ with an exclusive scan assigning global read
+//! IDs). Every stage is timed and its communication counters snapshotted,
+//! producing one [`RankReport`] per rank — the raw material for Table 2
+//! and, through `crate::model`, Figures 3–13.
+
+use crate::alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
+use crate::config::PipelineConfig;
+use crate::record::AlignmentRecord;
+use dibella_comm::{Comm, CommStats, CommWorld};
+use dibella_io::{parse_block, partition_reads, byte_ranges, Read, ReadPartition, ReadSet, ReadStore};
+use dibella_kcount::{bloom_stage, hash_stage, FilterStats, KmerStageCounters};
+use dibella_overlap::{overlap_stage_with_lengths, OverlapCounters, TaskPlacement};
+use std::time::{Duration, Instant};
+
+/// Wall-clock split of one stage on one rank.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTiming {
+    /// Total stage time on this rank.
+    pub total: Duration,
+    /// Portion spent inside collectives (from `CommStats::exchange_wall`).
+    pub exchange: Duration,
+}
+
+impl StageTiming {
+    /// Local compute portion (`total − exchange`).
+    pub fn local(&self) -> Duration {
+        self.total.saturating_sub(self.exchange)
+    }
+}
+
+/// Everything one rank measured while running the pipeline.
+#[derive(Clone, Debug)]
+pub struct RankReport {
+    /// Rank index.
+    pub rank: usize,
+    /// World size.
+    pub ranks: usize,
+    /// Reads owned by this rank.
+    pub local_reads: u64,
+    /// Bases owned by this rank.
+    pub local_bases: u64,
+    // ---- stage 1: Bloom filter ----
+    /// Bloom-pass work counters.
+    pub bloom: KmerStageCounters,
+    /// Bloom-pass traffic.
+    pub bloom_comm: CommStats,
+    /// Bloom-pass timing.
+    pub bloom_wall: StageTiming,
+    /// Peak Bloom partition bytes.
+    pub bloom_bytes: u64,
+    /// Keys promoted into the hash table.
+    pub table_keys: u64,
+    // ---- stage 2: hash table ----
+    /// Hash-pass work counters.
+    pub hash: KmerStageCounters,
+    /// Hash-pass traffic.
+    pub hash_comm: CommStats,
+    /// Hash-pass timing.
+    pub hash_wall: StageTiming,
+    /// Reliable-k-mer filter outcome.
+    pub filter: FilterStats,
+    /// Resident bytes of the filtered table partition.
+    pub table_bytes: u64,
+    // ---- stage 3: overlap ----
+    /// Overlap work counters.
+    pub overlap: OverlapCounters,
+    /// Overlap traffic.
+    pub overlap_comm: CommStats,
+    /// Overlap timing.
+    pub overlap_wall: StageTiming,
+    // ---- stage 4: alignment ----
+    /// Alignment work counters.
+    pub align: AlignCounters,
+    /// Alignment traffic (read redistribution).
+    pub align_comm: CommStats,
+    /// Alignment timing.
+    pub align_wall: StageTiming,
+}
+
+impl RankReport {
+    /// Total pipeline wall time on this rank.
+    pub fn total_wall(&self) -> Duration {
+        self.bloom_wall.total + self.hash_wall.total + self.overlap_wall.total
+            + self.align_wall.total
+    }
+}
+
+/// Result of a whole-world pipeline run.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// All alignments, merged across ranks and deterministically sorted.
+    pub alignments: Vec<AlignmentRecord>,
+    /// Per-rank measurements, indexed by rank.
+    pub reports: Vec<RankReport>,
+}
+
+impl PipelineResult {
+    /// Distinct overlapping read pairs found.
+    pub fn n_pairs(&self) -> usize {
+        let mut pairs: Vec<_> = self.alignments.iter().map(|a| a.pair).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs.len()
+    }
+
+    /// Total alignments computed (not just accepted) across ranks.
+    pub fn n_alignments_computed(&self) -> u64 {
+        self.reports.iter().map(|r| r.align.alignments).sum()
+    }
+
+    /// The slowest rank's wall time (the BSP job time).
+    pub fn wall(&self) -> Duration {
+        self.reports.iter().map(|r| r.total_wall()).max().unwrap_or_default()
+    }
+}
+
+/// SPMD pipeline body: run all four stages for one rank.
+///
+/// `local` must be exactly the reads of `part.range_of(comm.rank())`, in
+/// ID order.
+pub fn pipeline_rank(
+    comm: &Comm,
+    local: Vec<Read>,
+    part: &ReadPartition,
+    cfg: &PipelineConfig,
+) -> (Vec<AlignmentRecord>, RankReport) {
+    let rank = comm.rank();
+    let local_reads = local.len() as u64;
+    let local_bases: u64 = local.iter().map(|r| r.len() as u64).sum();
+
+    // Agree on dataset-wide parameters before timing the stages.
+    let total_bases = comm.allreduce_sum_u64(local_bases);
+    let mut kc = cfg.kcount(total_bases);
+    if let Some(precision) = cfg.hll_precision {
+        // Optional HyperLogLog cardinality pre-pass for Bloom sizing
+        // (paper §6; one extra streaming pass, O(2^precision) traffic).
+        kc.expected_distinct =
+            dibella_kcount::hll_cardinality(comm, &local, cfg.k, precision).max(1024);
+    }
+    let oc = cfg.overlap();
+    comm.take_stats(); // reset counters; setup traffic is not charged to a stage
+
+    // ---- stage 1: Bloom filter ------------------------------------------
+    let t = Instant::now();
+    let bloom_out = bloom_stage(comm, &local, &kc);
+    let bloom_comm = comm.take_stats();
+    let bloom_wall = StageTiming { total: t.elapsed(), exchange: bloom_comm.exchange_wall };
+    let mut table = bloom_out.table;
+    let table_keys = table.len() as u64;
+
+    // ---- stage 2: hash table ----------------------------------------------
+    let t = Instant::now();
+    let hash_out = hash_stage(comm, &local, &mut table, &kc);
+    let hash_comm = comm.take_stats();
+    let hash_wall = StageTiming { total: t.elapsed(), exchange: hash_comm.exchange_wall };
+    let table_bytes = table.memory_bytes();
+
+    // ---- stage 3: overlap ---------------------------------------------------
+    // Length-aware placement needs every read's length; one dense
+    // allgather of u32s (id order equals rank-concatenation order).
+    let lengths: Option<Vec<u32>> = (oc.placement == TaskPlacement::LongerRead).then(|| {
+        let local_lens: Vec<u32> = local.iter().map(|r| r.len() as u32).collect();
+        comm.allgather(local_lens).into_iter().flatten().collect()
+    });
+    let t = Instant::now();
+    let overlap_out = overlap_stage_with_lengths(comm, &table, part, &oc, lengths.as_deref());
+    let overlap_comm = comm.take_stats();
+    let overlap_wall = StageTiming { total: t.elapsed(), exchange: overlap_comm.exchange_wall };
+    drop(table); // the hash table is no longer needed once tasks exist
+
+    // ---- stage 4: read redistribution + alignment ---------------------------
+    let t = Instant::now();
+    let mut align_counters = AlignCounters::default();
+    let mut store = ReadStore::new(rank, part.clone(), local);
+    fetch_remote_reads(comm, &mut store, &overlap_out.tasks, &mut align_counters);
+    let alignments = align_tasks(&store, &overlap_out.tasks, cfg, &mut align_counters);
+    let align_comm = comm.take_stats();
+    let align_wall = StageTiming { total: t.elapsed(), exchange: align_comm.exchange_wall };
+
+    let report = RankReport {
+        rank,
+        ranks: comm.size(),
+        local_reads,
+        local_bases,
+        bloom: bloom_out.counters,
+        bloom_comm,
+        bloom_wall,
+        bloom_bytes: bloom_out.bloom_bytes as u64,
+        table_keys,
+        hash: hash_out.counters,
+        hash_comm,
+        hash_wall,
+        filter: hash_out.filter,
+        table_bytes,
+        overlap: overlap_out.counters,
+        overlap_comm,
+        overlap_wall,
+        align: align_counters,
+        align_comm,
+        align_wall,
+    };
+    (alignments, report)
+}
+
+fn merge(results: Vec<(Vec<AlignmentRecord>, RankReport)>) -> PipelineResult {
+    let mut alignments = Vec::new();
+    let mut reports = Vec::with_capacity(results.len());
+    for (recs, rep) in results {
+        alignments.extend(recs);
+        reports.push(rep);
+    }
+    alignments.sort_unstable();
+    PipelineResult { alignments, reports }
+}
+
+/// Run the full pipeline on `p` ranks over an in-memory read set (IDs must
+/// be dense input-order, as produced by the loaders in `dibella-io`).
+pub fn run_pipeline(reads: &ReadSet, p: usize, cfg: &PipelineConfig) -> PipelineResult {
+    let (part, chunks) = partition_reads(reads, p);
+    let results = CommWorld::run(p, |comm| {
+        pipeline_rank(
+            comm,
+            chunks[comm.rank()].clone().into_reads(),
+            &part,
+            cfg,
+        )
+    });
+    merge(results)
+}
+
+/// Run the pipeline from raw FASTQ bytes using the block-parallel input
+/// path: every rank parses the records beginning in its byte range, a
+/// world-wide exclusive scan assigns global read IDs, and the partition is
+/// built from the per-rank counts (paper §6: "the input reads are
+/// distributed roughly uniformly over the processors using parallel I/O").
+pub fn run_pipeline_fastq(fastq: &[u8], p: usize, cfg: &PipelineConfig) -> PipelineResult {
+    let ranges = byte_ranges(fastq.len(), p);
+    let results = CommWorld::run(p, |comm| {
+        let mut local = parse_block(fastq, ranges[comm.rank()])
+            .expect("malformed FASTQ block");
+        // Global, input-order read IDs via exclusive scan of counts.
+        let first = comm.exscan_sum_u64(local.len() as u64) as u32;
+        for (i, r) in local.iter_mut().enumerate() {
+            r.id = first + i as u32;
+        }
+        let counts = comm.allgather(local.len());
+        let part = ReadPartition::from_counts(&counts);
+        pipeline_rank(comm, local, &part, cfg)
+    });
+    merge(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_io::write_fastq;
+    use dibella_overlap::SeedPolicy;
+
+    /// Overlapping reads off one random genome.
+    fn dataset(n: usize, read_len: usize, stride: usize, seed: u64) -> ReadSet {
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let genome: Vec<u8> = (0..(n * stride + read_len))
+            .map(|_| b"ACGT"[(rnd() % 4) as usize])
+            .collect();
+        (0..n as u32)
+            .map(|i| {
+                let s = i as usize * stride;
+                Read::new(i, format!("r{i}"), genome[s..s + read_len].to_vec())
+            })
+            .collect()
+    }
+
+    fn small_cfg() -> PipelineConfig {
+        PipelineConfig {
+            k: 11,
+            seed_policy: SeedPolicy::MinDistance(11),
+            max_seeds_per_pair: 32,
+            max_kmers_per_round: 512,
+            // Error-free toy data: multiplicity grows with true genomic
+            // copies, cap high to keep neighbours' shared k-mers.
+            max_multiplicity: Some(24),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_neighbour_overlaps_end_to_end() {
+        let reads = dataset(10, 200, 60, 42);
+        let res = run_pipeline(&reads, 3, &small_cfg());
+        // Adjacent reads overlap by 140 bases — all 9 pairs must align
+        // with score ≈ overlap length.
+        for i in 0..9u32 {
+            let rec = res
+                .alignments
+                .iter()
+                .find(|r| r.pair == dibella_overlap::ReadPair::new(i, i + 1))
+                .unwrap_or_else(|| panic!("missing alignment ({i},{})", i + 1));
+            assert!(rec.score >= 120, "pair ({i},{}): score {}", i, rec.score);
+            assert!(!rec.reverse);
+        }
+        assert!(res.n_pairs() >= 9);
+    }
+
+    #[test]
+    fn world_size_invariance() {
+        let reads = dataset(12, 150, 50, 7);
+        let cfg = small_cfg();
+        let baseline = run_pipeline(&reads, 1, &cfg);
+        for p in [2usize, 4, 5] {
+            let r = run_pipeline(&reads, p, &cfg);
+            assert_eq!(
+                r.alignments, baseline.alignments,
+                "P={p} diverges from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn fastq_path_matches_in_memory_path() {
+        let reads = dataset(9, 150, 50, 3);
+        let mut fastq = Vec::new();
+        write_fastq(&mut fastq, &reads).unwrap();
+        let cfg = small_cfg();
+        let mem = run_pipeline(&reads, 3, &cfg);
+        let via_fastq = run_pipeline_fastq(&fastq, 3, &cfg);
+        assert_eq!(mem.alignments, via_fastq.alignments);
+    }
+
+    #[test]
+    fn reports_are_complete_and_consistent() {
+        let reads = dataset(10, 150, 50, 11);
+        let res = run_pipeline(&reads, 4, &small_cfg());
+        assert_eq!(res.reports.len(), 4);
+        let total_reads: u64 = res.reports.iter().map(|r| r.local_reads).sum();
+        assert_eq!(total_reads, 10);
+        // k-mers parsed in both passes match.
+        let b: u64 = res.reports.iter().map(|r| r.bloom.kmers_parsed).sum();
+        let h: u64 = res.reports.iter().map(|r| r.hash.kmers_parsed).sum();
+        assert_eq!(b, h);
+        // Hash pass moves 2.5x the bytes of the bloom pass.
+        let bb: u64 = res.reports.iter().map(|r| r.bloom_comm.total_bytes()).sum();
+        let hb: u64 = res.reports.iter().map(|r| r.hash_comm.total_bytes()).sum();
+        assert_eq!(hb, bb * 20 / 8, "wire ratio should be exactly 2.5x");
+        // Alignments computed equal the accepted ones here (threshold 0).
+        let computed: u64 = res.reports.iter().map(|r| r.align.alignments).sum();
+        assert_eq!(computed, res.n_alignments_computed());
+        assert!(computed >= res.alignments.len() as u64);
+        // Every stage saw at least one collective on every rank.
+        for r in &res.reports {
+            assert!(r.bloom_comm.alltoallv_calls >= 1);
+            assert!(r.hash_comm.alltoallv_calls >= 1);
+            assert!(r.overlap_comm.alltoallv_calls == 1);
+            assert!(r.align_comm.alltoallv_calls == 2);
+        }
+    }
+
+    #[test]
+    fn single_rank_pipeline_works() {
+        let reads = dataset(6, 120, 40, 5);
+        let res = run_pipeline(&reads, 1, &small_cfg());
+        assert!(!res.alignments.is_empty());
+        assert_eq!(res.reports.len(), 1);
+    }
+}

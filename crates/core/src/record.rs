@@ -1,0 +1,94 @@
+//! Alignment output records.
+
+use dibella_io::ReadId;
+use dibella_overlap::ReadPair;
+
+/// One computed pairwise alignment (one explored seed of one read pair).
+///
+/// The derived ordering (field order below) is total, giving merged
+/// multi-rank outputs a canonical order independent of the world size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AlignmentRecord {
+    /// The aligned read pair (`a < b`).
+    pub pair: ReadPair,
+    /// Relative orientation: `true` if `b` was reverse-complemented.
+    pub reverse: bool,
+    /// Alignment score under the run's scoring scheme.
+    pub score: i32,
+    /// Aligned range on read `a` (forward coordinates).
+    pub a_start: u32,
+    /// End (exclusive) on read `a`.
+    pub a_end: u32,
+    /// Aligned range on read `b` in *oriented* coordinates (reverse-
+    /// complement frame when [`Self::reverse`]).
+    pub b_start: u32,
+    /// End (exclusive) on `b`, oriented frame.
+    pub b_end: u32,
+    /// DP cells the x-drop kernel spent on this alignment.
+    pub cells: u64,
+}
+
+impl AlignmentRecord {
+    /// Map the `b` range back to forward-strand coordinates.
+    pub fn b_forward_range(&self, b_len: u32) -> (u32, u32) {
+        if self.reverse {
+            (b_len - self.b_end, b_len - self.b_start)
+        } else {
+            (self.b_start, self.b_end)
+        }
+    }
+
+    /// Render as a PAF-like line (the de-facto overlap interchange format):
+    /// `a_name a_len a_start a_end strand b_name b_len b_start b_end score`.
+    pub fn to_paf(&self, names: &dyn Fn(ReadId) -> String, lens: &dyn Fn(ReadId) -> u32) -> String {
+        let b_len = lens(self.pair.b);
+        let (bs, be) = self.b_forward_range(b_len);
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            names(self.pair.a),
+            lens(self.pair.a),
+            self.a_start,
+            self.a_end,
+            if self.reverse { '-' } else { '+' },
+            names(self.pair.b),
+            b_len,
+            bs,
+            be,
+            self.score,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(reverse: bool) -> AlignmentRecord {
+        AlignmentRecord {
+            pair: ReadPair::new(0, 1),
+            reverse,
+            score: 42,
+            a_start: 10,
+            a_end: 60,
+            b_start: 5,
+            b_end: 55,
+            cells: 123,
+        }
+    }
+
+    #[test]
+    fn forward_range_identity() {
+        assert_eq!(rec(false).b_forward_range(100), (5, 55));
+    }
+
+    #[test]
+    fn reverse_range_mirrors() {
+        assert_eq!(rec(true).b_forward_range(100), (45, 95));
+    }
+
+    #[test]
+    fn paf_rendering() {
+        let line = rec(true).to_paf(&|id| format!("r{id}"), &|_| 100);
+        assert_eq!(line, "r0\t100\t10\t60\t-\tr1\t100\t45\t95\t42");
+    }
+}

@@ -1,0 +1,125 @@
+//! Sequencing error models.
+//!
+//! Long-read technologies have error rates of 5–35 % (paper §1); PacBio
+//! CLR chemistry (RS II P5-C3 / P4-C2, the paper's §5 data) is
+//! insertion-dominated. The model applies independent per-base errors with
+//! configurable substitution/insertion/deletion rates.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Independent per-base error model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorModel {
+    /// Probability a base is substituted.
+    pub sub_rate: f64,
+    /// Probability an extra base is inserted after a base.
+    pub ins_rate: f64,
+    /// Probability a base is deleted.
+    pub del_rate: f64,
+}
+
+impl ErrorModel {
+    /// PacBio CLR-like profile at a given total error rate, split in the
+    /// chemistry's characteristic ~ 55 % insertions / 25 % deletions /
+    /// 20 % substitutions.
+    pub fn pacbio(total: f64) -> Self {
+        assert!((0.0..0.6).contains(&total), "total error rate out of range");
+        Self {
+            sub_rate: total * 0.20,
+            ins_rate: total * 0.55,
+            del_rate: total * 0.25,
+        }
+    }
+
+    /// A perfect sequencer (for pipeline determinism tests).
+    pub const fn perfect() -> Self {
+        Self { sub_rate: 0.0, ins_rate: 0.0, del_rate: 0.0 }
+    }
+
+    /// Total per-base error probability.
+    pub fn total(&self) -> f64 {
+        self.sub_rate + self.ins_rate + self.del_rate
+    }
+
+    /// Corrupt `template` according to the model.
+    pub fn apply(&self, template: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        let mut out = Vec::with_capacity(template.len() + template.len() / 8);
+        for &b in template {
+            let r: f64 = rng.gen();
+            if r < self.del_rate {
+                continue; // base dropped
+            }
+            if r < self.del_rate + self.sub_rate {
+                // Substitute with one of the three other bases.
+                let alternatives: [u8; 3] = match b {
+                    b'A' => [b'C', b'G', b'T'],
+                    b'C' => [b'A', b'G', b'T'],
+                    b'G' => [b'A', b'C', b'T'],
+                    _ => [b'A', b'C', b'G'],
+                };
+                out.push(alternatives[rng.gen_range(0..3)]);
+            } else {
+                out.push(b);
+            }
+            if rng.gen::<f64>() < self.ins_rate {
+                out.push(b"ACGT"[rng.gen_range(0..4)]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_model_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = b"ACGTACGTACGT".to_vec();
+        assert_eq!(ErrorModel::perfect().apply(&t, &mut rng), t);
+    }
+
+    #[test]
+    fn pacbio_split_sums_to_total() {
+        let m = ErrorModel::pacbio(0.15);
+        assert!((m.total() - 0.15).abs() < 1e-12);
+        assert!(m.ins_rate > m.del_rate && m.del_rate > m.sub_rate);
+    }
+
+    #[test]
+    fn error_rate_close_to_design() {
+        // Measure edit distance rate on a long template.
+        let template: Vec<u8> = (0..20_000).map(|i| b"ACGT"[(i * 13 + 2) % 4]).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let noisy = ErrorModel::pacbio(0.15).apply(&template, &mut rng);
+        // Length change reflects ins − del ≈ 0.15·(0.55−0.25) = 4.5 %.
+        let growth = noisy.len() as f64 / template.len() as f64 - 1.0;
+        assert!((0.02..0.07).contains(&growth), "growth {growth}");
+        // Mismatch fraction over the common prefix scale should exceed the
+        // substitution rate alone (indels shift frames).
+        let mismatches = template
+            .iter()
+            .zip(&noisy)
+            .filter(|(a, b)| a != b)
+            .count() as f64
+            / template.len().min(noisy.len()) as f64;
+        assert!(mismatches > 0.02, "mismatch rate {mismatches}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t: Vec<u8> = (0..500).map(|i| b"ACGT"[i % 4]).collect();
+        let a = ErrorModel::pacbio(0.1).apply(&t, &mut StdRng::seed_from_u64(7));
+        let b = ErrorModel::pacbio(0.1).apply(&t, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn absurd_error_rate_rejected() {
+        let _ = ErrorModel::pacbio(0.9);
+    }
+}

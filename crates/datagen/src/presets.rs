@@ -1,0 +1,98 @@
+//! The paper's two workloads as scalable presets.
+//!
+//! §5: *E. coli 30×* — 16 890 reads, mean 9 958 bp, PacBio RS II P5-C3
+//! (≈ 15 % error), 266 MB; *E. coli 100×* — 91 394 reads, mean 6 934 bp,
+//! P4-C2 (≈ 14 % error), 929 MB. Both from the 4.64 Mb MG1655 genome.
+//!
+//! A `scale` knob shrinks the genome (and with it every derived quantity)
+//! so the full pipeline × node-count × platform sweep fits in CI, while
+//! `scale = 1.0` reproduces paper-sized inputs. Workload *shape* (depth,
+//! read length, error rate — the variables §3 says determine cost) is
+//! preserved exactly at any scale.
+
+use crate::errors::ErrorModel;
+use crate::genome::GenomeSpec;
+use crate::reads::{simulate_reads, ReadSimSpec, SyntheticDataset};
+
+/// E. coli MG1655 genome length (bases).
+pub const ECOLI_GENOME: usize = 4_641_652;
+
+/// Scaled E. coli 30× (PacBio P5-C3-like, mean read 9 958 bp, 15 % error).
+pub fn ecoli_30x_like(scale: f64, seed: u64) -> SyntheticDataset {
+    preset(scale, seed, 30.0, 9_958, 0.15)
+}
+
+/// Scaled E. coli 100× (PacBio P4-C2-like, mean read 6 934 bp, 14 % error).
+pub fn ecoli_100x_like(scale: f64, seed: u64) -> SyntheticDataset {
+    preset(scale, seed, 100.0, 6_934, 0.14)
+}
+
+/// The "sample" dataset of Table 2 (a slice of E. coli 30×): same shape,
+/// one fifth of the coverage.
+pub fn ecoli_30x_sample_like(scale: f64, seed: u64) -> SyntheticDataset {
+    preset(scale, seed, 6.0, 9_958, 0.15)
+}
+
+fn preset(scale: f64, seed: u64, depth: f64, mean_len: usize, err: f64) -> SyntheticDataset {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let size = ((ECOLI_GENOME as f64 * scale) as usize).max(4 * mean_len.min(20_000));
+    let genome = GenomeSpec {
+        size,
+        repeat_fraction: 0.03,
+        repeat_unit_len: 700,
+        repeat_families: 5,
+        seed: seed ^ 0x9E37_79B9,
+    }
+    .generate();
+    // Keep reads shorter than the scaled genome.
+    let mean = mean_len.min(size / 4);
+    simulate_reads(
+        &genome,
+        &ReadSimSpec {
+            depth,
+            mean_len: mean,
+            len_sigma: 0.35,
+            min_len: (mean / 10).max(200),
+            errors: ErrorModel::pacbio(err),
+            seed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes() {
+        let ds = ecoli_30x_like(0.01, 1);
+        assert!((ds.realized_depth() - 30.0).abs() < 2.0);
+        let ds100 = ecoli_100x_like(0.005, 1);
+        assert!((ds100.realized_depth() - 100.0).abs() < 5.0);
+        // 100x preset has shorter reads than 30x at the same scale basis.
+        assert!(ds100.mean_read_len() < ds.mean_read_len());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        // Note the generator clamps tiny genomes to ~4 mean read lengths,
+        // so compare scales above that floor.
+        let small = ecoli_30x_like(0.01, 2);
+        let large = ecoli_30x_like(0.04, 2);
+        assert!(large.genome.len() > 3 * small.genome.len());
+        assert!(large.reads.len() > 3 * small.reads.len());
+    }
+
+    #[test]
+    fn sample_preset_is_lighter() {
+        let full = ecoli_30x_like(0.01, 3);
+        let sample = ecoli_30x_sample_like(0.01, 3);
+        assert!(sample.reads.total_bases() < full.reads.total_bases() / 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn scale_validated() {
+        let _ = ecoli_30x_like(0.0, 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! # dibella-io
+//!
+//! Input handling for the diBELLA pipeline: FASTQ/FASTA parsing and
+//! writing, byte-range parallel input with record resynchronization,
+//! size-balanced contiguous read partitioning, and the per-rank
+//! [`ReadStore`] with replication support for the alignment stage.
+
+#![warn(missing_docs)]
+
+pub mod fastq;
+pub mod partition;
+pub mod read;
+pub mod store;
+
+pub use fastq::{
+    read_fasta, read_fastq, write_fasta, write_fastq, FastqReader, FastqRecord, ParseError,
+};
+pub use partition::{byte_ranges, parse_block, partition_reads, resync_fastq, ReadPartition};
+pub use read::{Read, ReadId, ReadSet};
+pub use store::ReadStore;

@@ -1,0 +1,385 @@
+//! Input partitioning for parallel I/O and block read ownership.
+//!
+//! Paper §4/§6: "the input reads are distributed roughly uniformly over the
+//! processors using parallel I/O, but there is no locality inherent in the
+//! input files", and §9: reads are partitioned "as uniformly as possible at
+//! the beginning of the computation (by the read size in memory)".
+//!
+//! Two mechanisms live here:
+//!
+//! * **byte-range partitioning with FASTQ resynchronization** — each rank
+//!   takes `[start, end)` bytes of the file and parses the records that
+//!   *begin* in its range, which requires finding the first true record
+//!   boundary at or after `start` (quality lines may legally begin with
+//!   `@`, so a lookahead test is used);
+//! * **size-balanced contiguous read partitioning** — assigning consecutive
+//!   read IDs to ranks so each rank holds roughly the same number of
+//!   bases. Contiguity makes read ownership a binary search over `P + 1`
+//!   boundaries instead of a table of all reads.
+
+use crate::fastq::{FastqReader, ParseError};
+use crate::read::{Read, ReadId, ReadSet};
+use std::io::Cursor;
+
+/// Split `total` bytes into `parts` half-open ranges of near-equal size.
+///
+/// Every byte belongs to exactly one range; empty ranges are produced when
+/// `parts > total`.
+pub fn byte_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for r in 0..parts {
+        let len = base + usize::from(r < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+/// Returns true if the line starting at `pos` looks like a FASTQ header:
+/// it begins with `@` and the line two lines later begins with `+`.
+///
+/// A quality line may also begin with `@`, but then the line two later is a
+/// *sequence* line, which never begins with `+` — so the test disambiguates
+/// every well-formed file.
+fn is_record_start(bytes: &[u8], pos: usize) -> bool {
+    if bytes.get(pos) != Some(&b'@') {
+        return false;
+    }
+    // Walk two line breaks forward.
+    let mut p = pos;
+    for _ in 0..2 {
+        match bytes[p..].iter().position(|&b| b == b'\n') {
+            Some(off) => p += off + 1,
+            None => return false,
+        }
+    }
+    bytes.get(p) == Some(&b'+')
+}
+
+/// Find the first FASTQ record boundary at or after `from`.
+///
+/// Returns `bytes.len()` when no record starts in the remainder (the block
+/// contains only the tail of the previous rank's record).
+pub fn resync_fastq(bytes: &[u8], from: usize) -> usize {
+    if from == 0 {
+        return 0;
+    }
+    let mut pos = from;
+    // Step to the start of the next line unless we are already on one.
+    if pos > 0 && bytes.get(pos - 1) != Some(&b'\n') {
+        match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(off) => pos += off + 1,
+            None => return bytes.len(),
+        }
+    }
+    loop {
+        if pos >= bytes.len() {
+            return bytes.len();
+        }
+        if is_record_start(bytes, pos) {
+            return pos;
+        }
+        match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(off) => pos += off + 1,
+            None => return bytes.len(),
+        }
+    }
+}
+
+/// Parse the FASTQ records *beginning* in `range` of `bytes`.
+///
+/// The caller passes the rank's byte range from [`byte_ranges`]; the rank
+/// resynchronizes to the first record starting at or after `range.0` and
+/// parses up to (but not including) the first record starting at or after
+/// `range.1`. Reads receive placeholder ID 0 — global IDs are assigned
+/// after a prefix sum of per-rank record counts (see
+/// `dibella_comm`-based loaders).
+pub fn parse_block(bytes: &[u8], range: (usize, usize)) -> Result<Vec<Read>, ParseError> {
+    let begin = resync_fastq(bytes, range.0);
+    let end = resync_fastq(bytes, range.1);
+    if begin >= end {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for rec in FastqReader::new(Cursor::new(&bytes[begin..end])) {
+        let rec = rec?;
+        out.push(Read::new(0, rec.name, rec.seq));
+    }
+    Ok(out)
+}
+
+/// Contiguous, size-balanced assignment of read IDs to `p` ranks.
+///
+/// `boundaries` has `p + 1` entries; rank `r` owns IDs
+/// `boundaries[r] .. boundaries[r + 1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadPartition {
+    boundaries: Vec<ReadId>,
+}
+
+impl ReadPartition {
+    /// Greedily split `lengths[i]` (bases of read `i`) into `p` contiguous
+    /// chunks of near-equal total size.
+    ///
+    /// The greedy rule closes a chunk once it reaches the ideal share of
+    /// the *remaining* bases over the *remaining* ranks, which guarantees
+    /// every rank gets a non-pathological share and later ranks are never
+    /// starved.
+    pub fn balance_by_size(lengths: &[usize], p: usize) -> Self {
+        assert!(p > 0);
+        let total: u64 = lengths.iter().map(|&l| l as u64).sum();
+        let mut boundaries = Vec::with_capacity(p + 1);
+        boundaries.push(0 as ReadId);
+        let mut next = 0usize;
+        let mut remaining = total;
+        for rank in 0..p {
+            let ranks_left = (p - rank) as u64;
+            let target = remaining.div_ceil(ranks_left.max(1));
+            let mut acc = 0u64;
+            while next < lengths.len() && (acc < target || ranks_left == 1) {
+                // Final rank absorbs everything left.
+                if ranks_left == 1 && next == lengths.len() {
+                    break;
+                }
+                acc += lengths[next] as u64;
+                next += 1;
+                if ranks_left > 1 && acc >= target {
+                    break;
+                }
+            }
+            remaining -= acc;
+            boundaries.push(next as ReadId);
+        }
+        // All reads must be assigned.
+        *boundaries.last_mut().unwrap() = lengths.len() as ReadId;
+        Self { boundaries }
+    }
+
+    /// Build from per-rank read counts (the result of block-parallel input
+    /// plus an exclusive scan): rank `r` owns `counts[r]` consecutive IDs.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        assert!(!counts.is_empty());
+        let mut boundaries = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        boundaries.push(0 as ReadId);
+        for &c in counts {
+            acc += c;
+            boundaries.push(acc as ReadId);
+        }
+        Self { boundaries }
+    }
+
+    /// Uniform count-based partition (for tests and unweighted inputs).
+    pub fn uniform(n_reads: usize, p: usize) -> Self {
+        assert!(p > 0);
+        let ranges = byte_ranges(n_reads, p);
+        let mut boundaries: Vec<ReadId> = ranges.iter().map(|&(s, _)| s as ReadId).collect();
+        boundaries.push(n_reads as ReadId);
+        Self { boundaries }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Total number of reads.
+    pub fn n_reads(&self) -> usize {
+        *self.boundaries.last().unwrap() as usize
+    }
+
+    /// The rank owning read `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn owner_of(&self, id: ReadId) -> usize {
+        assert!(
+            (id as usize) < self.n_reads(),
+            "read id {id} out of range (n = {})",
+            self.n_reads()
+        );
+        // partition_point returns the first boundary > id; ranks are that
+        // index minus one.
+        self.boundaries.partition_point(|&b| b <= id) - 1
+    }
+
+    /// Half-open ID range owned by `rank`.
+    pub fn range_of(&self, rank: usize) -> std::ops::Range<ReadId> {
+        self.boundaries[rank]..self.boundaries[rank + 1]
+    }
+
+    /// Reads owned by `rank`, sliced out of a full input ordering.
+    pub fn slice<'a>(&self, rank: usize, reads: &'a [Read]) -> &'a [Read] {
+        let r = self.range_of(rank);
+        &reads[r.start as usize..r.end as usize]
+    }
+}
+
+/// Split a fully-loaded [`ReadSet`] into per-rank [`ReadSet`]s according to
+/// a size-balanced partition, returning the partition map as well.
+pub fn partition_reads(set: &ReadSet, p: usize) -> (ReadPartition, Vec<ReadSet>) {
+    let lengths: Vec<usize> = set.iter().map(|r| r.len()).collect();
+    let part = ReadPartition::balance_by_size(&lengths, p);
+    let mut out = Vec::with_capacity(p);
+    for rank in 0..p {
+        out.push(ReadSet::from_reads(part.slice(rank, set.reads()).to_vec()));
+    }
+    (part, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fastq::write_fastq;
+
+    #[test]
+    fn byte_ranges_cover_exactly() {
+        for total in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 16] {
+                let ranges = byte_ranges(total, parts);
+                assert_eq!(ranges.len(), parts);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[parts - 1].1, total);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].1, w[1].0);
+                }
+            }
+        }
+    }
+
+    fn sample_file(n: usize) -> (Vec<u8>, ReadSet) {
+        let mut set = ReadSet::new();
+        for i in 0..n {
+            let len = 20 + (i * 37) % 80;
+            let seq: Vec<u8> = (0..len).map(|j| b"ACGT"[(i + j) % 4]).collect();
+            set.push(Read::new(i as ReadId, format!("r{i}"), seq));
+        }
+        let mut bytes = Vec::new();
+        write_fastq(&mut bytes, &set).unwrap();
+        (bytes, set)
+    }
+
+    #[test]
+    fn resync_finds_record_starts() {
+        let (bytes, _) = sample_file(5);
+        assert_eq!(resync_fastq(&bytes, 0), 0);
+        // From byte 1 we must land on the second record, whose offset we
+        // find by scanning for "@r1".
+        let second = bytes
+            .windows(4)
+            .position(|w| w == b"@r1\n")
+            .unwrap();
+        assert_eq!(resync_fastq(&bytes, 1), second);
+    }
+
+    #[test]
+    fn parallel_blocks_reconstruct_the_file() {
+        let (bytes, set) = sample_file(23);
+        for p in [1usize, 2, 3, 4, 7, 16, 64] {
+            let mut all: Vec<Read> = Vec::new();
+            for range in byte_ranges(bytes.len(), p) {
+                all.extend(parse_block(&bytes, range).unwrap());
+            }
+            assert_eq!(all.len(), set.len(), "p={p}");
+            for (got, want) in all.iter().zip(set.iter()) {
+                assert_eq!(got.name, want.name, "p={p}");
+                assert_eq!(got.seq, want.seq, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quality_line_starting_with_at_does_not_confuse_resync() {
+        // Craft a record whose quality line starts with '@' (legal: Q31).
+        let file = b"@r0\nACGTACGT\n+\n@IIIIIII\n@r1\nTTTT\n+\nIIII\n".to_vec();
+        // Any split point must still yield exactly 2 records total.
+        for p in [2usize, 3, 5] {
+            let mut n = 0;
+            for range in byte_ranges(file.len(), p) {
+                n += parse_block(&file, range).unwrap().len();
+            }
+            assert_eq!(n, 2, "p={p}");
+        }
+    }
+
+    #[test]
+    fn balance_by_size_is_contiguous_and_fair() {
+        let lengths: Vec<usize> = (0..100).map(|i| 50 + (i * 131) % 200).collect();
+        let total: usize = lengths.iter().sum();
+        for p in [1usize, 2, 4, 8, 16] {
+            let part = ReadPartition::balance_by_size(&lengths, p);
+            assert_eq!(part.ranks(), p);
+            assert_eq!(part.n_reads(), lengths.len());
+            let ideal = total as f64 / p as f64;
+            for rank in 0..p {
+                let r = part.range_of(rank);
+                let load: usize = lengths[r.start as usize..r.end as usize].iter().sum();
+                // Within one max-read-length of ideal.
+                assert!(
+                    (load as f64) < ideal + 250.0,
+                    "p={p} rank={rank} load={load} ideal={ideal}"
+                );
+            }
+            // Ownership agrees with ranges.
+            for id in 0..lengths.len() as ReadId {
+                let owner = part.owner_of(id);
+                assert!(part.range_of(owner).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_reads() {
+        let part = ReadPartition::balance_by_size(&[10, 10], 5);
+        assert_eq!(part.ranks(), 5);
+        assert_eq!(part.n_reads(), 2);
+        let owners: Vec<usize> = (0..2).map(|id| part.owner_of(id)).collect();
+        assert_eq!(owners.len(), 2);
+        // Every read has exactly one owner; empty ranks are fine.
+        let total: usize = (0..5).map(|r| part.range_of(r).len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn from_counts_round_trip() {
+        let part = ReadPartition::from_counts(&[3, 0, 5, 2]);
+        assert_eq!(part.ranks(), 4);
+        assert_eq!(part.n_reads(), 10);
+        assert_eq!(part.range_of(0), 0..3);
+        assert_eq!(part.range_of(1), 3..3);
+        assert_eq!(part.range_of(2), 3..8);
+        assert_eq!(part.owner_of(4), 2);
+        assert_eq!(part.owner_of(9), 3);
+    }
+
+    #[test]
+    fn uniform_partition_counts() {
+        let part = ReadPartition::uniform(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|r| part.range_of(r).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn owner_of_out_of_range_panics() {
+        ReadPartition::uniform(3, 2).owner_of(3);
+    }
+
+    #[test]
+    fn partition_reads_round_trip() {
+        let (_, set) = sample_file(17);
+        let (part, chunks) = partition_reads(&set, 4);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), 17);
+        for (rank, chunk) in chunks.iter().enumerate() {
+            for read in chunk {
+                assert_eq!(part.owner_of(read.id), rank);
+            }
+        }
+    }
+}

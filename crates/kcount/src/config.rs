@@ -1,0 +1,86 @@
+//! Configuration for the k-mer analysis stages.
+
+use dibella_kmer::params;
+
+/// Parameters of the two k-mer passes (paper §6–§7).
+#[derive(Clone, Debug)]
+pub struct KcountConfig {
+    /// k-mer length (≤ 32; diBELLA uses 17 for PacBio data).
+    pub k: usize,
+    /// High-occurrence threshold `m`: k-mers seen more often are treated
+    /// as repeats and discarded (paper §2).
+    pub max_multiplicity: u32,
+    /// Bloom filter false-positive target.
+    pub bloom_fp_rate: f64,
+    /// Estimated distinct k-mers across the whole input (Eq. 2 × typical
+    /// distinct ratio) used to size the distributed Bloom filter without a
+    /// counting pass.
+    pub expected_distinct: u64,
+    /// Memory cap per rank and round: at most this many k-mer records are
+    /// buffered before an exchange is forced. The paper streams "a subset
+    /// of input data at a time to limit the memory consumption" (§4).
+    pub max_kmers_per_round: usize,
+}
+
+impl KcountConfig {
+    /// Derive a configuration from dataset statistics, mirroring
+    /// BELLA/diBELLA's data-driven parameter selection.
+    ///
+    /// * `total_bases` — `N = G·d` (size of the read set in bases);
+    /// * `depth` — coverage `d`;
+    /// * `error_rate` — per-base error rate `e`.
+    pub fn from_dataset(total_bases: u64, depth: f64, error_rate: f64, k: usize) -> Self {
+        assert!((4..=32).contains(&k), "k = {k} unsupported (need 4..=32)");
+        let m = params::reliable_max_multiplicity(depth, error_rate, k, params::defaults::EPSILON);
+        // k-mer bag ≈ total bases (Eq. 2); distinct ≈ bag × typical ratio.
+        let expected_distinct =
+            params::estimate_cardinality(total_bases, params::defaults::DISTINCT_RATIO).max(1024);
+        Self {
+            k,
+            max_multiplicity: m,
+            bloom_fp_rate: 0.05,
+            expected_distinct,
+            max_kmers_per_round: 1 << 20,
+        }
+    }
+
+    /// Per-rank share of the expected distinct k-mer set.
+    pub fn expected_distinct_per_rank(&self, ranks: usize) -> u64 {
+        (self.expected_distinct / ranks as u64).max(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_paper_like_parameters() {
+        // E. coli 30x-like: 139 Mb of reads at depth 30, 15% error, k=17.
+        let cfg = KcountConfig::from_dataset(139_200_000, 30.0, 0.15, 17);
+        assert_eq!(cfg.k, 17);
+        assert!((2..=12).contains(&cfg.max_multiplicity));
+        assert!(cfg.expected_distinct > 50_000_000);
+        assert!(cfg.expected_distinct < 139_200_000);
+    }
+
+    #[test]
+    fn deeper_coverage_raises_m() {
+        let c30 = KcountConfig::from_dataset(1_000_000, 30.0, 0.15, 17);
+        let c100 = KcountConfig::from_dataset(1_000_000, 100.0, 0.14, 17);
+        assert!(c100.max_multiplicity > c30.max_multiplicity);
+    }
+
+    #[test]
+    fn per_rank_share() {
+        let cfg = KcountConfig::from_dataset(1_000_000, 30.0, 0.15, 17);
+        assert!(cfg.expected_distinct_per_rank(4) >= cfg.expected_distinct / 4);
+        assert!(cfg.expected_distinct_per_rank(1 << 30) >= 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn k_bounds() {
+        let _ = KcountConfig::from_dataset(1000, 30.0, 0.15, 33);
+    }
+}

@@ -1,0 +1,23 @@
+//! # dibella-kcount
+//!
+//! Stages 1 and 2 of the diBELLA pipeline: the distributed Bloom-filter
+//! pass that eliminates singleton k-mers and initializes the hash table
+//! with non-singleton keys (paper §6), and the distributed hash-table pass
+//! that attaches (read, position, strand) occurrence lists and filters to
+//! the *reliable* k-mer set (paper §7).
+//!
+//! Both passes are SPMD functions over a [`dibella_comm::Comm`] handle and
+//! stream their input in bounded rounds of irregular `Alltoallv`
+//! exchanges.
+
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod config;
+pub mod stages;
+pub mod table;
+
+pub use cardinality::hll_cardinality;
+pub use config::KcountConfig;
+pub use stages::{bloom_stage, hash_stage, BloomOutput, HashOutput, KmerStageCounters};
+pub use table::{FilterStats, KmerEntry, KmerHashTable, Occurrence};

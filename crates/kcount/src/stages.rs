@@ -1,0 +1,360 @@
+//! The two distributed k-mer passes (paper §6 and §7).
+//!
+//! Both passes stream the local reads in bounded *rounds* so that no rank
+//! ever materializes its whole k-mer bag (paper §4: "diBELLA executes in a
+//! streaming fashion with a subset of input data at a time to limit the
+//! memory consumption"). Every round is one irregular `Alltoallv` of
+//! fixed-size records; the number of rounds is agreed world-wide with a
+//! max-reduction so collectives stay matched.
+//!
+//! Wire sizes mirror the paper's volumes: a Bloom-pass record is the
+//! 8-byte packed k-mer, a hash-pass record adds read ID, position and
+//! strand for 20 bytes — the 2.5× volume ratio called out in §7.
+
+use crate::config::KcountConfig;
+use crate::table::{KmerHashTable, Occurrence};
+use dibella_comm::{decode_iter, encode_slice, Comm, Wire};
+use dibella_io::Read;
+use dibella_kmer::{kmer_count, Kmer1, KmerIter, Strand};
+use dibella_sketch::BloomFilter;
+
+/// Bloom-pass record: the packed canonical k-mer word.
+type BloomMsg = u64;
+
+/// Hash-pass record: `(kmer word, read id, position, strand)`.
+type HashMsg = (u64, u32, u32, u32);
+
+/// Work counters shared by both passes, consumed by the cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KmerStageCounters {
+    /// k-mers parsed and packed on the sending side.
+    pub kmers_parsed: u64,
+    /// k-mer records processed on the owning side.
+    pub kmers_received: u64,
+    /// Bulk-synchronous exchange rounds executed.
+    pub rounds: u64,
+    /// Bloom pass: keys promoted into the hash table (second sightings).
+    pub promoted_keys: u64,
+    /// Hash pass: occurrences recorded into resident keys.
+    pub recorded_occurrences: u64,
+}
+
+/// Result of the Bloom-filter pass.
+#[derive(Debug)]
+pub struct BloomOutput {
+    /// Hash-table partition initialized with the keys of (probable)
+    /// non-singleton k-mers.
+    pub table: KmerHashTable,
+    /// Peak Bloom filter memory (freed on return, as in the paper).
+    pub bloom_bytes: usize,
+    /// Bloom filter fill ratio at the end of the pass (diagnostic).
+    pub bloom_fill: f64,
+    /// Work counters.
+    pub counters: KmerStageCounters,
+}
+
+/// Number of exchange rounds every rank must execute so that collectives
+/// stay matched: the world maximum of each rank's own need.
+fn agree_rounds(comm: &Comm, local_kmers: u64, cap: usize) -> u64 {
+    let need = local_kmers.div_ceil(cap as u64).max(1);
+    comm.allreduce_max_u64(need)
+}
+
+/// Iterate `(read, hit)` pairs over a read slice in k-mer order.
+fn kmer_stream<'a>(
+    reads: &'a [Read],
+    k: usize,
+) -> impl Iterator<Item = (&'a Read, dibella_kmer::KmerHit<1>)> + 'a {
+    reads
+        .iter()
+        .flat_map(move |r| KmerIter::<1>::new(&r.seq, k).map(move |h| (r, h)))
+}
+
+/// Stage 1 — distributed Bloom filter construction (paper §6).
+///
+/// Every rank parses its reads into canonical k-mers, routes each to its
+/// owner by hash, and the owner inserts it into its Bloom partition; a
+/// k-mer already present is promoted into the hash-table partition. The
+/// filter is dropped on return ("After the hash table is initialized with
+/// k-mer keys, the Bloom filter is freed").
+pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutput {
+    let p = comm.size();
+    let mut bloom = BloomFilter::for_items(
+        cfg.expected_distinct_per_rank(p),
+        cfg.bloom_fp_rate,
+    );
+    let mut table = KmerHashTable::with_capacity(1024);
+    let mut counters = KmerStageCounters::default();
+
+    let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
+    let rounds = agree_rounds(comm, local_kmers, cfg.max_kmers_per_round);
+    let mut stream = kmer_stream(reads, cfg.k);
+
+    for _ in 0..rounds {
+        counters.rounds += 1;
+        // Pack up to the round cap.
+        let mut bufs: Vec<Vec<BloomMsg>> = vec![Vec::new(); p];
+        for (_, hit) in stream.by_ref().take(cfg.max_kmers_per_round) {
+            counters.kmers_parsed += 1;
+            bufs[hit.kmer.owner(p)].push(hit.kmer.words()[0]);
+        }
+        // Exchange as raw bytes (exact wire accounting).
+        let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
+        for buf in recv {
+            for word in decode_iter::<BloomMsg>(&buf) {
+                counters.kmers_received += 1;
+                let kmer = Kmer1::from_words([word], cfg.k as u16);
+                debug_assert_eq!(kmer.owner(p), comm.rank(), "misrouted k-mer");
+                if bloom.insert(kmer.hash64()) {
+                    // Second (apparent) sighting → promote to hash table.
+                    if !table.contains(&kmer) {
+                        counters.promoted_keys += 1;
+                        table.insert_key(kmer);
+                    }
+                }
+            }
+        }
+    }
+
+    let bloom_bytes = bloom.memory_bytes();
+    let bloom_fill = bloom.fill_ratio();
+    bloom.clear_and_shrink();
+    BloomOutput { table, bloom_bytes, bloom_fill, counters }
+}
+
+/// Result of the hash-table pass.
+#[derive(Debug)]
+pub struct HashOutput {
+    /// Reliable-k-mer filter statistics (singletons / high-frequency
+    /// removals, retained count).
+    pub filter: crate::table::FilterStats,
+    /// Work counters.
+    pub counters: KmerStageCounters,
+}
+
+/// Stage 2 — hash table construction (paper §7).
+///
+/// The reads are parsed *again*; this time each k-mer instance carries its
+/// (read, position, strand) metadata. Owners record occurrences only for
+/// resident keys, then scan their partition to drop false-positive
+/// singletons and k-mers over the threshold `m`.
+pub fn hash_stage(
+    comm: &Comm,
+    reads: &[Read],
+    table: &mut KmerHashTable,
+    cfg: &KcountConfig,
+) -> HashOutput {
+    let p = comm.size();
+    let mut counters = KmerStageCounters::default();
+
+    let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
+    let rounds = agree_rounds(comm, local_kmers, cfg.max_kmers_per_round);
+    let mut stream = kmer_stream(reads, cfg.k);
+
+    for _ in 0..rounds {
+        counters.rounds += 1;
+        let mut bufs: Vec<Vec<HashMsg>> = vec![Vec::new(); p];
+        for (read, hit) in stream.by_ref().take(cfg.max_kmers_per_round) {
+            counters.kmers_parsed += 1;
+            bufs[hit.kmer.owner(p)].push((
+                hit.kmer.words()[0],
+                read.id,
+                hit.pos,
+                hit.strand.as_u8() as u32,
+            ));
+        }
+        debug_assert_eq!(<HashMsg as Wire>::SIZE, 20, "2.5x the 8-byte Bloom record");
+        let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
+        for buf in recv {
+            for (word, rid, pos, strand) in decode_iter::<HashMsg>(&buf) {
+                counters.kmers_received += 1;
+                let kmer = Kmer1::from_words([word], cfg.k as u16);
+                let occ = Occurrence {
+                    read: rid,
+                    pos,
+                    strand: Strand::from_u8(strand as u8),
+                };
+                if table.record_occurrence(&kmer, occ, cfg) {
+                    counters.recorded_occurrences += 1;
+                }
+            }
+        }
+    }
+
+    let filter = table.retain_reliable(cfg.max_multiplicity);
+    HashOutput { filter, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_comm::CommWorld;
+    use dibella_io::partition_reads;
+    use dibella_io::ReadSet;
+    use std::collections::HashMap;
+
+    fn test_cfg(k: usize, m: u32) -> KcountConfig {
+        KcountConfig {
+            k,
+            max_multiplicity: m,
+            bloom_fp_rate: 0.01,
+            expected_distinct: 10_000,
+            max_kmers_per_round: 64, // tiny cap → exercises multi-round path
+        }
+    }
+
+    /// Serial reference: canonical k-mer → (count, occurrences).
+    fn reference_counts(reads: &ReadSet, k: usize) -> HashMap<Kmer1, u32> {
+        let mut out: HashMap<Kmer1, u32> = HashMap::new();
+        for r in reads {
+            for h in KmerIter::<1>::new(&r.seq, k) {
+                *out.entry(h.kmer).or_default() += 1;
+            }
+        }
+        out
+    }
+
+    fn make_reads(n: usize, len: usize, seed: u64) -> ReadSet {
+        // Deterministic pseudo-random reads with some shared content:
+        // half the reads share a common 40-base core to create reliable
+        // k-mers.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let core: Vec<u8> = (0..40).map(|i| b"ACGT"[(i * 7 + 1) % 4]).collect();
+        (0..n as u32)
+            .map(|i| {
+                let mut seq: Vec<u8> = (0..len).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+                if i % 2 == 0 {
+                    let at = (next() as usize) % (len - core.len());
+                    seq[at..at + core.len()].copy_from_slice(&core);
+                }
+                dibella_io::Read::new(i, format!("r{i}"), seq)
+            })
+            .collect()
+    }
+
+    /// Run both passes on `p` ranks and merge the resulting partitions.
+    fn run_distributed(
+        reads: &ReadSet,
+        p: usize,
+        cfg: &KcountConfig,
+    ) -> HashMap<Kmer1, Vec<Occurrence>> {
+        let (_, chunks) = partition_reads(reads, p);
+        let results = CommWorld::run(p, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, cfg);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, cfg);
+            table
+                .iter()
+                .map(|(k, e)| (*k, e.occurrences.clone()))
+                .collect::<Vec<_>>()
+        });
+        let mut merged = HashMap::new();
+        for part in results {
+            for (k, occs) in part {
+                assert!(merged.insert(k, occs).is_none(), "key on two ranks");
+            }
+        }
+        merged
+    }
+
+    #[test]
+    fn retained_set_matches_serial_reference() {
+        let reads = make_reads(24, 120, 99);
+        let cfg = test_cfg(9, 20);
+        let reference: HashMap<Kmer1, u32> = reference_counts(&reads, 9)
+            .into_iter()
+            .filter(|&(_, c)| (2..=20).contains(&c))
+            .collect();
+        for p in [1usize, 2, 4, 7] {
+            let dist = run_distributed(&reads, p, &cfg);
+            assert_eq!(dist.len(), reference.len(), "p={p}");
+            for (k, occs) in &dist {
+                let want = reference.get(k).copied().unwrap_or(0);
+                assert_eq!(occs.len() as u32, want, "p={p} kmer={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn occurrences_point_back_into_reads() {
+        let reads = make_reads(10, 80, 5);
+        let cfg = test_cfg(7, 30);
+        let dist = run_distributed(&reads, 3, &cfg);
+        assert!(!dist.is_empty());
+        for (kmer, occs) in &dist {
+            for o in occs {
+                let read = &reads.reads()[o.read as usize];
+                let window = &read.seq[o.pos as usize..o.pos as usize + 7];
+                let (canon, strand) = Kmer1::from_ascii(window).unwrap().canonical();
+                assert_eq!(&canon, kmer, "occurrence does not spell the k-mer");
+                assert_eq!(strand, o.strand);
+            }
+        }
+    }
+
+    #[test]
+    fn high_frequency_kmers_filtered() {
+        // Every read contains the same 12-base core → its k-mers recur in
+        // all 30 reads; with m = 5 those must be filtered out.
+        let core = b"ACGTACGTACGT";
+        let reads: ReadSet = (0..30u32)
+            .map(|i| {
+                let mut seq = vec![b"ACGT"[(i as usize) % 4]; 10];
+                seq.extend_from_slice(core);
+                seq.extend(vec![b"ACGT"[(i as usize + 1) % 4]; 10]);
+                dibella_io::Read::new(i, format!("r{i}"), seq)
+            })
+            .collect();
+        let cfg = test_cfg(9, 5);
+        let dist = run_distributed(&reads, 4, &cfg);
+        let core_kmer = Kmer1::from_ascii(&core[..9]).unwrap().canonical().0;
+        assert!(!dist.contains_key(&core_kmer), "repeat k-mer not filtered");
+    }
+
+    #[test]
+    fn counters_are_consistent() {
+        let reads = make_reads(12, 100, 3);
+        let cfg = test_cfg(9, 20);
+        let (_, chunks) = partition_reads(&reads, 3);
+        let outs = CommWorld::run(3, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let b = bloom_stage(comm, local, &cfg);
+            let mut table = b.table;
+            let h = hash_stage(comm, local, &mut table, &cfg);
+            (b.counters, h.counters)
+        });
+        let total_kmers: u64 = reads
+            .iter()
+            .map(|r| kmer_count(r.len(), 9) as u64)
+            .sum();
+        let parsed_b: u64 = outs.iter().map(|(b, _)| b.kmers_parsed).sum();
+        let recv_b: u64 = outs.iter().map(|(b, _)| b.kmers_received).sum();
+        let parsed_h: u64 = outs.iter().map(|(_, h)| h.kmers_parsed).sum();
+        assert_eq!(parsed_b, total_kmers);
+        assert_eq!(recv_b, total_kmers, "k-mers lost in the exchange");
+        assert_eq!(parsed_h, total_kmers);
+        // Multi-round: the tiny cap forces > 1 round for these sizes.
+        assert!(outs.iter().all(|(b, _)| b.rounds > 1));
+    }
+
+    #[test]
+    fn bloom_memory_reported_and_freed() {
+        let reads = make_reads(6, 60, 1);
+        let cfg = test_cfg(7, 10);
+        let (_, chunks) = partition_reads(&reads, 2);
+        let outs = CommWorld::run(2, |comm| {
+            bloom_stage(comm, chunks[comm.rank()].reads(), &cfg)
+        });
+        for o in outs {
+            assert!(o.bloom_bytes > 0);
+            assert!(o.bloom_fill > 0.0 && o.bloom_fill < 0.9);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! DNA base (nucleotide) encoding.
+//!
+//! diBELLA's four-letter alphabet `{A, C, G, T}` is stored with 2 bits per
+//! base (paper §3). The encoding is chosen so that complementation is
+//! `3 - code` (equivalently `code ^ 3`), which lets reverse complements be
+//! computed with pure bit arithmetic in [`crate::Kmer::reverse_complement`].
+
+/// 2-bit code for `A`.
+pub const A: u8 = 0;
+/// 2-bit code for `C`.
+pub const C: u8 = 1;
+/// 2-bit code for `G`.
+pub const G: u8 = 2;
+/// 2-bit code for `T`.
+pub const T: u8 = 3;
+
+/// Encode an ASCII nucleotide to its 2-bit code.
+///
+/// Accepts upper- and lower-case `ACGT`. Every other byte (including `N`)
+/// returns `None`; callers such as the k-mer extractor treat those positions
+/// as window breaks, exactly as ambiguous bases are skipped by k-mer based
+/// overlappers.
+#[inline]
+pub fn encode(b: u8) -> Option<u8> {
+    match b {
+        b'A' | b'a' => Some(A),
+        b'C' | b'c' => Some(C),
+        b'G' | b'g' => Some(G),
+        b'T' | b't' => Some(T),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back to its upper-case ASCII nucleotide.
+///
+/// # Panics
+/// Panics in debug builds if `code > 3`; in release the low two bits are
+/// used.
+#[inline]
+pub fn decode(code: u8) -> u8 {
+    debug_assert!(code <= 3, "invalid 2-bit base code {code}");
+    b"ACGT"[(code & 3) as usize]
+}
+
+/// Complement of a 2-bit code (`A`↔`T`, `C`↔`G`).
+#[inline]
+pub fn complement(code: u8) -> u8 {
+    code ^ 3
+}
+
+/// Complement of an ASCII nucleotide, preserving case for `ACGT` input.
+///
+/// Non-nucleotide bytes are returned unchanged so that sequences containing
+/// `N` survive a round trip.
+#[inline]
+pub fn complement_ascii(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'C' => b'G',
+        b'G' => b'C',
+        b'T' => b'A',
+        b'a' => b't',
+        b'c' => b'g',
+        b'g' => b'c',
+        b't' => b'a',
+        other => other,
+    }
+}
+
+/// Reverse-complement an ASCII sequence into a new vector.
+pub fn reverse_complement_ascii(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement_ascii(b)).collect()
+}
+
+/// Returns `true` if every byte of `seq` is an unambiguous nucleotide.
+pub fn is_clean(seq: &[u8]) -> bool {
+    seq.iter().all(|&b| encode(b).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for (i, &b) in b"ACGT".iter().enumerate() {
+            assert_eq!(encode(b), Some(i as u8));
+            assert_eq!(decode(i as u8), b);
+        }
+        for (i, &b) in b"acgt".iter().enumerate() {
+            assert_eq!(encode(b), Some(i as u8));
+        }
+    }
+
+    #[test]
+    fn ambiguous_bases_are_rejected() {
+        for b in [b'N', b'n', b'X', b'-', b'U', b'\n', 0u8] {
+            assert_eq!(encode(b), None);
+        }
+        assert!(!is_clean(b"ACGTN"));
+        assert!(is_clean(b"ACGTacgt"));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for code in 0..4u8 {
+            assert_eq!(complement(complement(code)), code);
+        }
+        assert_eq!(complement(A), T);
+        assert_eq!(complement(C), G);
+    }
+
+    #[test]
+    fn reverse_complement_ascii_matches_manual() {
+        assert_eq!(reverse_complement_ascii(b"ACGT"), b"ACGT".to_vec());
+        assert_eq!(reverse_complement_ascii(b"AACGTT"), b"AACGTT".to_vec());
+        assert_eq!(reverse_complement_ascii(b"AAAC"), b"GTTT".to_vec());
+        assert_eq!(reverse_complement_ascii(b"ANT"), b"ANT".to_vec());
+    }
+}

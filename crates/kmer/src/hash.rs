@@ -1,0 +1,105 @@
+//! Hash functions for k-mers and generic 64-bit mixing.
+//!
+//! Two requirements drive these choices (paper §4, §6):
+//!
+//! 1. The k-mer → owner-rank map must spread k-mers uniformly so each rank
+//!    owns roughly the same number of distinct k-mers.
+//! 2. The Bloom filter needs several *independent* hash functions per key.
+//!
+//! We use the splitmix64 finalizer — an invertible avalanche mixer with
+//! measured near-ideal bias — folded over the packed words, and derive the
+//! Bloom filter's family via the standard Kirsch–Mitzenmacher double
+//! hashing `h_i(x) = h1(x) + i·h2(x)`.
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixer (invertible).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a packed k-mer (its words plus its length) to 64 bits.
+///
+/// Folding each word through [`mix64`] with a distinct running state keeps
+/// multi-word k-mers well mixed; including `k` separates k-mers of
+/// different lengths that happen to share packed bits.
+#[inline]
+pub fn kmer_hash_words(words: &[u64], k: u64) -> u64 {
+    let mut h = mix64(k ^ 0xD6E8_FEB8_6659_FD93);
+    for &w in words {
+        h = mix64(h ^ w);
+    }
+    h
+}
+
+/// The `i`-th member of a double-hashing family seeded by `hash`.
+///
+/// `h1` is the hash itself; `h2` is a re-mix forced odd so it is coprime
+/// with power-of-two table sizes.
+#[inline]
+pub fn double_hash(hash: u64, i: u64) -> u64 {
+    let h2 = mix64(hash ^ 0xA076_1D64_78BD_642F) | 1;
+    hash.wrapping_add(i.wrapping_mul(h2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_injective_on_sample() {
+        let mut seen = HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(mix64(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn mix64_avalanche_rough_check() {
+        // Flipping one input bit should flip ~32 of 64 output bits.
+        let mut total = 0u32;
+        let trials = 640;
+        for x in 0..10u64 {
+            for bit in 0..64 {
+                let d = mix64(x) ^ mix64(x ^ (1 << bit));
+                total += d.count_ones();
+            }
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((24.0..40.0).contains(&avg), "poor avalanche: {avg}");
+    }
+
+    #[test]
+    fn kmer_hash_depends_on_k() {
+        assert_ne!(kmer_hash_words(&[0], 17), kmer_hash_words(&[0], 19));
+    }
+
+    #[test]
+    fn double_hash_family_differs() {
+        let h = kmer_hash_words(&[0xDEAD_BEEF], 17);
+        let vals: HashSet<u64> = (0..8).map(|i| double_hash(h, i)).collect();
+        assert_eq!(vals.len(), 8);
+    }
+
+    #[test]
+    fn owner_distribution_is_roughly_uniform() {
+        // Hash 40k consecutive "k-mers" onto 16 ranks; each bucket should
+        // hold 2500 ± 20%.
+        let p = 16usize;
+        let n = 40_000u64;
+        let mut counts = vec![0usize; p];
+        for x in 0..n {
+            counts[(kmer_hash_words(&[x], 17) % p as u64) as usize] += 1;
+        }
+        let expect = n as f64 / p as f64;
+        for (r, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 0.2 * expect,
+                "rank {r} got {c}, expected ~{expect}"
+            );
+        }
+    }
+}

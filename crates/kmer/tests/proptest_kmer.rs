@@ -1,0 +1,155 @@
+//! Property-based tests for packed k-mer invariants.
+
+use dibella_kmer::{base, extract_kmers, Kmer, Kmer1, Kmer2, Strand};
+use proptest::prelude::*;
+
+/// Strategy: a random clean DNA sequence of the given length range.
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), len)
+}
+
+/// Strategy: DNA with occasional ambiguous bases.
+fn dirty_dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ACGTNacgtn".to_vec()), len)
+}
+
+proptest! {
+    /// from_ascii → to_ascii is the identity on clean uppercase input.
+    #[test]
+    fn ascii_round_trip(seq in dna(1..33)) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        prop_assert_eq!(k.to_ascii(), seq);
+    }
+
+    /// Reverse complement is an involution and matches the ASCII path.
+    #[test]
+    fn rc_involution(seq in dna(1..33)) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        prop_assert_eq!(k.reverse_complement().reverse_complement(), k);
+        prop_assert_eq!(
+            k.reverse_complement().to_ascii(),
+            base::reverse_complement_ascii(&seq)
+        );
+    }
+
+    /// Canonical form is invariant under strand flip.
+    #[test]
+    fn canonical_strand_invariant(seq in dna(4..33)) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        let rc = k.reverse_complement();
+        let (c1, _) = k.canonical();
+        let (c2, _) = rc.canonical();
+        prop_assert_eq!(c1, c2);
+        prop_assert!(c1 <= k && c1 <= rc);
+    }
+
+    /// words() → from_words round-trips.
+    #[test]
+    fn words_round_trip(seq in dna(1..33)) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        prop_assert_eq!(Kmer1::from_words(*k.words(), k.k() as u16), k);
+    }
+
+    /// Integer ordering of equal-k k-mers equals lexicographic order of
+    /// their spellings.
+    #[test]
+    fn order_is_lexicographic(a in dna(12..13), b in dna(12..13)) {
+        let ka = Kmer1::from_ascii(&a).unwrap();
+        let kb = Kmer1::from_ascii(&b).unwrap();
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    /// Extraction yields exactly L-k+1 hits on clean input, each of which
+    /// matches its window's canonical form.
+    #[test]
+    fn extraction_complete_and_correct(seq in dna(20..200), k in 4usize..18) {
+        let hits = extract_kmers::<1>(&seq, k);
+        prop_assert_eq!(hits.len(), seq.len() - k + 1);
+        for h in &hits {
+            let window = &seq[h.pos as usize..h.pos as usize + k];
+            let (canon, strand) = Kmer1::from_ascii(window).unwrap().canonical();
+            prop_assert_eq!(h.kmer, canon);
+            prop_assert_eq!(h.strand, strand);
+        }
+    }
+
+    /// Extraction from a read and its reverse complement yields the same
+    /// canonical k-mer multiset (positions mirrored).
+    #[test]
+    fn extraction_strand_symmetric(seq in dna(30..120), k in 5usize..16) {
+        let rc = base::reverse_complement_ascii(&seq);
+        let mut a: Vec<Kmer1> = extract_kmers::<1>(&seq, k).into_iter().map(|h| h.kmer).collect();
+        let mut b: Vec<Kmer1> = extract_kmers::<1>(&rc, k).into_iter().map(|h| h.kmer).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// On dirty input every produced hit is clean and correctly positioned,
+    /// and no hit spans an ambiguous base.
+    #[test]
+    fn dirty_input_hits_are_clean(seq in dirty_dna(20..150), k in 3usize..12) {
+        let hits = extract_kmers::<1>(&seq, k);
+        for h in &hits {
+            let window = &seq[h.pos as usize..h.pos as usize + k];
+            prop_assert!(base::is_clean(window));
+            let (canon, _) = Kmer1::from_ascii(window).unwrap().canonical();
+            prop_assert_eq!(h.kmer, canon);
+        }
+        // Completeness: every clean window appears exactly once.
+        let clean_windows = (0..=seq.len().saturating_sub(k))
+            .filter(|&s| base::is_clean(&seq[s..s + k]))
+            .count();
+        prop_assert_eq!(hits.len(), clean_windows);
+    }
+
+    /// Owner mapping is total and stable for any rank count.
+    #[test]
+    fn owner_in_range(seq in dna(17..18), p in 1usize..2000) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        let o = k.owner(p);
+        prop_assert!(o < p);
+        prop_assert_eq!(o, k.owner(p));
+    }
+
+    /// Two-word k-mers preserve all single-word invariants.
+    #[test]
+    fn two_word_round_trip(seq in dna(33..65)) {
+        let k = Kmer2::from_ascii(&seq).unwrap();
+        prop_assert_eq!(k.to_ascii(), seq.clone());
+        prop_assert_eq!(k.reverse_complement().reverse_complement(), k);
+        prop_assert_eq!(
+            k.reverse_complement().to_ascii(),
+            base::reverse_complement_ascii(&seq)
+        );
+    }
+
+    /// Strand byte codec round-trips.
+    #[test]
+    fn strand_codec(v in 0u8..2) {
+        let s = Strand::from_u8(v);
+        prop_assert_eq!(Strand::from_u8(s.as_u8()), s);
+    }
+
+    /// Hashing differs between a k-mer and any single-base mutation
+    /// (regression guard against weak mixing).
+    #[test]
+    fn hash_sensitive_to_mutation(seq in dna(17..18), pos in 0usize..17) {
+        let k = Kmer1::from_ascii(&seq).unwrap();
+        let mut mutated = k;
+        let old = mutated.get_base(pos);
+        mutated.set_base(pos, (old + 1) & 3);
+        prop_assert_ne!(k.hash64(), mutated.hash64());
+    }
+}
+
+/// The palindrome edge case: a k-mer equal to its own reverse complement
+/// must canonicalize to itself on the Forward strand.
+#[test]
+fn palindrome_canonicalizes_forward() {
+    let k = Kmer::<1>::from_ascii(b"ACGT").unwrap();
+    assert_eq!(k.reverse_complement(), k);
+    let (canon, strand) = k.canonical();
+    assert_eq!(canon, k);
+    assert_eq!(strand, Strand::Forward);
+}

@@ -1,0 +1,333 @@
+//! The LogGP-style cost model projecting measured work onto platforms.
+//!
+//! The pipeline runs for real (every byte exchanged, every DP cell
+//! computed) and records per-rank counters; this module converts those into
+//! per-platform stage times:
+//!
+//! ```text
+//! T_local(r)    = compute_ns(r) · 1e-9 / core_perf · cache_penalty(ws/cache)
+//! T_exchange(r) = calls · (α + α_rank·P)                        [latency]
+//!               + off_node_bytes(node(r)) / bw_node              [injection]
+//!               + on_node_bytes(node(r)) / bw_mem                [local copy]
+//!               + first_alltoallv_setup (once per job)
+//! T_stage       = max_r T_local(r) + max_r T_exchange(r)         [BSP]
+//! ```
+//!
+//! `cache_penalty ≥ 1` shrinks as strong scaling shrinks the per-rank
+//! working set — the mechanism behind the paper's superlinear local
+//! speedups (Figs. 4–5) — and the first-call term reproduces the
+//! first-`MPI_Alltoallv` anomaly (§6, §10).
+
+use crate::platforms::Platform;
+
+/// Placement of ranks onto nodes: rank `r` lives on node `r / ranks_per_node`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeMapping {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// MPI ranks per node (the paper pins one rank per core).
+    pub ranks_per_node: usize,
+}
+
+impl NodeMapping {
+    /// Create a mapping.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Self {
+        assert!(nodes > 0 && ranks_per_node > 0);
+        Self { nodes, ranks_per_node }
+    }
+
+    /// One rank per core on `nodes` nodes of `platform`.
+    pub fn for_platform(platform: &Platform, nodes: usize) -> Self {
+        Self::new(nodes, platform.cores_per_node)
+    }
+
+    /// Total ranks.
+    pub fn ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// Per-rank measured load for one pipeline stage.
+#[derive(Clone, Debug, Default)]
+pub struct RankLoad {
+    /// Weighted compute nanoseconds at reference (Cori-core, in-cache)
+    /// speed. Producers multiply raw op counts by the `ns-per-op`
+    /// constants in [`crate::costs`].
+    pub compute_ns: f64,
+    /// Bytes this rank's local phase touches repeatedly (hash-table
+    /// partition, Bloom partition, read buffers) — drives the cache term.
+    pub working_set: f64,
+    /// Bytes sent to each rank (from `dibella_comm::CommStats`).
+    pub dest_bytes: Vec<u64>,
+    /// Irregular collective calls this stage issued.
+    pub alltoallv_calls: u64,
+}
+
+/// Modeled per-rank times for one stage on one platform.
+#[derive(Clone, Debug)]
+pub struct StageCost {
+    /// Per-rank local compute seconds.
+    pub local_s: Vec<f64>,
+    /// Per-rank exchange seconds.
+    pub exchange_s: Vec<f64>,
+}
+
+impl StageCost {
+    /// BSP stage wall time: slowest local phase plus slowest exchange.
+    pub fn stage_seconds(&self) -> f64 {
+        self.max_local() + self.max_exchange()
+    }
+
+    /// Slowest rank's local time.
+    pub fn max_local(&self) -> f64 {
+        self.local_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Slowest rank's exchange time.
+    pub fn max_exchange(&self) -> f64 {
+        self.exchange_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Load imbalance `max / avg` over per-rank total stage time
+    /// (1.0 = perfect; the metric of paper Figure 8).
+    pub fn imbalance(&self) -> f64 {
+        let totals: Vec<f64> = self
+            .local_s
+            .iter()
+            .zip(&self.exchange_s)
+            .map(|(&l, &e)| l + e)
+            .collect();
+        let max = totals.iter().copied().fold(0.0, f64::max);
+        let avg = totals.iter().sum::<f64>() / totals.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+}
+
+/// Cache-capacity penalty multiplier: 1.0 when the working set fits in
+/// the per-core cache, rising smoothly toward `1 + MAX_CACHE_PENALTY`
+/// as the set grows — so halving the per-rank data (strong scaling) can
+/// speed local work up by *more* than 2×.
+pub fn cache_penalty(working_set: f64, cache_per_core: f64) -> f64 {
+    const MAX_CACHE_PENALTY: f64 = 1.6;
+    if working_set <= cache_per_core || cache_per_core <= 0.0 {
+        1.0
+    } else {
+        let r = working_set / cache_per_core;
+        1.0 + MAX_CACHE_PENALTY * (1.0 - 1.0 / r)
+    }
+}
+
+/// Model one stage.
+///
+/// `loads.len()` must equal `mapping.ranks()`. `first_exchange` charges the
+/// platform's one-time `MPI_Alltoallv` setup cost (give `true` only for the
+/// first exchanging stage of a job — the Bloom filter stage).
+pub fn stage_cost(
+    platform: &Platform,
+    mapping: NodeMapping,
+    loads: &[RankLoad],
+    first_exchange: bool,
+) -> StageCost {
+    let p = mapping.ranks();
+    assert_eq!(loads.len(), p, "need one RankLoad per rank");
+
+    // ---- local compute ----------------------------------------------------
+    let local_s: Vec<f64> = loads
+        .iter()
+        .map(|l| {
+            l.compute_ns * 1e-9 / platform.core_perf
+                * cache_penalty(l.working_set, platform.cache_per_core)
+        })
+        .collect();
+
+    // ---- exchange ----------------------------------------------------------
+    // Aggregate traffic per node: a node's NIC carries the off-node bytes of
+    // all its ranks; on-node traffic moves at memory bandwidth.
+    let mut node_off = vec![0u64; mapping.nodes];
+    let mut node_on = vec![0u64; mapping.nodes];
+    for (r, l) in loads.iter().enumerate() {
+        let home = mapping.node_of(r);
+        for (d, &b) in l.dest_bytes.iter().enumerate() {
+            if mapping.node_of(d) == home {
+                node_on[home] += b;
+            } else {
+                node_off[home] += b;
+            }
+        }
+    }
+    let exchange_s: Vec<f64> = loads
+        .iter()
+        .enumerate()
+        .map(|(r, l)| {
+            let home = mapping.node_of(r);
+            let latency = l.alltoallv_calls as f64
+                * (platform.coll_alpha_us + platform.coll_per_rank_us * p as f64)
+                * 1e-6;
+            let injection = node_off[home] as f64 / (platform.inj_bw_mb_s * 1e6);
+            let local_copy = node_on[home] as f64 / (platform.mem_bw_mb_s * 1e6);
+            let base = latency + injection + local_copy;
+            // First-Alltoallv setup (paper §6/§10): the job's first call
+            // pays (a) per-peer connection/buffer establishment, linear in
+            // P, and (b) an extra `factor` average calls of this stage.
+            let setup = if first_exchange && l.alltoallv_calls > 0 {
+                platform.setup_us_per_rank * p as f64 * 1e-6
+                    + platform.first_alltoallv_factor * base / l.alltoallv_calls as f64
+            } else {
+                0.0
+            };
+            base + setup
+        })
+        .collect();
+
+    StageCost { local_s, exchange_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platforms::{AWS, CORI, TITAN};
+
+    fn uniform_loads(p: usize, compute_ns: f64, bytes_each: u64, calls: u64) -> Vec<RankLoad> {
+        (0..p)
+            .map(|_| RankLoad {
+                compute_ns,
+                working_set: 0.0,
+                dest_bytes: vec![bytes_each; p],
+                alltoallv_calls: calls,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mapping_basics() {
+        let m = NodeMapping::new(4, 8);
+        assert_eq!(m.ranks(), 32);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(31), 3);
+        assert!(m.same_node(8, 15));
+        assert!(!m.same_node(7, 8));
+    }
+
+    #[test]
+    fn cache_penalty_bounds_and_monotonicity() {
+        let c = 1e6;
+        assert_eq!(cache_penalty(0.5e6, c), 1.0);
+        assert_eq!(cache_penalty(1e6, c), 1.0);
+        let p2 = cache_penalty(2e6, c);
+        let p8 = cache_penalty(8e6, c);
+        assert!(p2 > 1.0 && p8 > p2 && p8 < 2.7);
+    }
+
+    #[test]
+    fn single_node_has_no_injection_cost() {
+        let m = NodeMapping::new(1, 4);
+        let loads = uniform_loads(4, 0.0, 1_000_000, 1);
+        let cost = stage_cost(&CORI, m, &loads, false);
+        // All traffic on-node → only latency + memory copies; should be
+        // well below what the same volume costs across nodes.
+        let m2 = NodeMapping::new(4, 1);
+        let cost2 = stage_cost(&CORI, m2, &loads, false);
+        assert!(cost.max_exchange() < cost2.max_exchange() / 2.0);
+    }
+
+    #[test]
+    fn more_bytes_cost_more() {
+        let m = NodeMapping::new(2, 2);
+        let small = stage_cost(&CORI, m, &uniform_loads(4, 0.0, 1_000, 1), false);
+        let big = stage_cost(&CORI, m, &uniform_loads(4, 0.0, 1_000_000, 1), false);
+        assert!(big.max_exchange() > small.max_exchange());
+    }
+
+    #[test]
+    fn aws_exchange_slower_than_aries() {
+        let m = NodeMapping::new(4, 4);
+        let loads = uniform_loads(16, 0.0, 100_000, 3);
+        let cori = stage_cost(&CORI, m, &loads, false);
+        let aws = stage_cost(&AWS, m, &loads, false);
+        assert!(aws.max_exchange() > cori.max_exchange());
+    }
+
+    #[test]
+    fn titan_compute_slower_than_cori() {
+        let m = NodeMapping::new(1, 2);
+        let loads = uniform_loads(2, 1e9, 0, 0);
+        let cori = stage_cost(&CORI, m, &loads, false);
+        let titan = stage_cost(&TITAN, m, &loads, false);
+        assert!(titan.max_local() > 2.0 * cori.max_local());
+    }
+
+    #[test]
+    fn first_call_overhead_scales_with_call_cost() {
+        let m = NodeMapping::new(2, 2);
+        // One call: first-call factor 1.0 doubles the exchange.
+        let p = 4usize;
+        let conn = CORI.setup_us_per_rank * p as f64 * 1e-6;
+        let loads = uniform_loads(p, 0.0, 10_000, 1);
+        let without = stage_cost(&CORI, m, &loads, false);
+        let with = stage_cost(&CORI, m, &loads, true);
+        let ratio = (with.max_exchange() - conn) / without.max_exchange();
+        assert!((ratio - (1.0 + CORI.first_alltoallv_factor)).abs() < 1e-9, "{ratio}");
+        // Four calls: only the first is doubled → +25% plus connection setup.
+        let loads4 = uniform_loads(p, 0.0, 10_000, 4);
+        let w4 = stage_cost(&CORI, m, &loads4, true);
+        let wo4 = stage_cost(&CORI, m, &loads4, false);
+        let ratio4 = (w4.max_exchange() - conn) / wo4.max_exchange();
+        assert!((ratio4 - 1.25).abs() < 1e-9, "{ratio4}");
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let cost = StageCost {
+            local_s: vec![1.0, 1.0, 2.0, 0.0],
+            exchange_s: vec![0.0; 4],
+        };
+        assert!((cost.imbalance() - 2.0).abs() < 1e-12);
+        let perfect = StageCost {
+            local_s: vec![1.0; 4],
+            exchange_s: vec![1.0; 4],
+        };
+        assert!((perfect.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superlinear_scaling_via_cache() {
+        // Fixed total work/bytes split over more ranks with a shrinking
+        // working set → more-than-proportional local speedup.
+        let total_ns = 32e9;
+        let ws_total = 640e6;
+        let t = |nodes: usize| {
+            let m = NodeMapping::for_platform(&CORI, nodes);
+            let p = m.ranks();
+            let loads: Vec<RankLoad> = (0..p)
+                .map(|_| RankLoad {
+                    compute_ns: total_ns / p as f64,
+                    working_set: ws_total / p as f64,
+                    dest_bytes: vec![0; p],
+                    alltoallv_calls: 0,
+                })
+                .collect();
+            stage_cost(&CORI, m, &loads, false).max_local()
+        };
+        let t1 = t(1);
+        let t8 = t(8);
+        let eff = t1 / (8.0 * t8);
+        assert!(eff > 1.05, "expected superlinear efficiency, got {eff}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Strong-scaling efficiency and rate arithmetic used by every figure.
+//!
+//! All the paper's efficiency plots are *relative to one node of the same
+//! machine*: `eff(n) = T(1) / (n · T(n))`. Rates are `work / time`, e.g.
+//! millions of k-mers per second (Figs. 3, 5, 6) or millions of alignments
+//! per second (Figs. 7, 13).
+
+/// Strong-scaling efficiency relative to the 1-node time of the same
+/// platform: `t1 / (n · tn)`. Values above 1.0 are superlinear.
+pub fn strong_efficiency(t1: f64, tn: f64, n: usize) -> f64 {
+    assert!(n > 0);
+    if tn <= 0.0 {
+        return f64::NAN;
+    }
+    t1 / (n as f64 * tn)
+}
+
+/// Throughput in *millions of items per second*.
+pub fn mrate(items: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::NAN;
+    }
+    items as f64 / seconds / 1e6
+}
+
+/// Parallel speedup `t1 / tn`.
+pub fn speedup(t1: f64, tn: f64) -> f64 {
+    if tn <= 0.0 {
+        return f64::NAN;
+    }
+    t1 / tn
+}
+
+/// A labelled series over node counts, as plotted in the figures.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label, e.g. `"Cori (XC40)"`.
+    pub label: String,
+    /// `(nodes, value)` points in increasing node order.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl Series {
+    /// Create a series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(usize, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+
+    /// Value at a node count, if present.
+    pub fn at(&self, nodes: usize) -> Option<f64> {
+        self.points.iter().find(|&&(n, _)| n == nodes).map(|&(_, v)| v)
+    }
+}
+
+/// Render series as a tab-separated table: header row of labels, one row
+/// per node count — directly comparable to the paper's figure axes.
+pub fn render_table(node_counts: &[usize], series: &[Series]) -> String {
+    let mut out = String::from("nodes");
+    for s in series {
+        out.push('\t');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    for &n in node_counts {
+        out.push_str(&n.to_string());
+        for s in series {
+            out.push('\t');
+            match s.at(n) {
+                Some(v) => out.push_str(&format!("{v:.4}")),
+                None => out.push('-'),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_formulae() {
+        assert!((strong_efficiency(10.0, 5.0, 2) - 1.0).abs() < 1e-12);
+        assert!((strong_efficiency(10.0, 2.0, 2) - 2.5).abs() < 1e-12);
+        assert!(strong_efficiency(10.0, 10.0, 4) < 0.3);
+        assert!(strong_efficiency(1.0, 0.0, 2).is_nan());
+    }
+
+    #[test]
+    fn rates_and_speedups() {
+        assert!((mrate(2_000_000, 2.0) - 1.0).abs() < 1e-12);
+        assert!((speedup(8.0, 2.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_lookup_and_render() {
+        let s = Series::new("Cori (XC40)", vec![(1, 1.0), (2, 1.8), (4, 3.0)]);
+        assert_eq!(s.at(2), Some(1.8));
+        assert_eq!(s.at(8), None);
+        let t = render_table(&[1, 2, 4, 8], &[s]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "nodes\tCori (XC40)");
+        assert!(lines[2].starts_with("2\t1.8"));
+        assert!(lines[4].ends_with('-'));
+    }
+}

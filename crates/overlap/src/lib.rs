@@ -1,0 +1,21 @@
+//! # dibella-overlap
+//!
+//! Stage 3 of the diBELLA pipeline (paper §8): traverse the reliable-k-mer
+//! hash table partitions in parallel, form every pair of reads sharing a
+//! retained k-mer (Algorithm 1), place each alignment task with the owner
+//! of one of its reads via the odd/even heuristic, exchange tasks with a
+//! single irregular all-to-all, consolidate per-pair seed lists, and
+//! filter seeds by the run's exploration policy (one seed / min-distance).
+
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod stage;
+pub mod task;
+
+pub use policy::SeedPolicy;
+pub use stage::{
+    overlap_stage, overlap_stage_with_lengths, reference_pairs, OverlapConfig, OverlapCounters,
+    OverlapOutput,
+};
+pub use task::{task_home, OverlapTask, ReadPair, SharedSeed, TaskPlacement};

@@ -1,0 +1,141 @@
+//! Seed-exploration policies (paper §5, §8).
+//!
+//! "At the two extremes, the one-seed option computes pairwise alignment
+//! on exactly one seed per pair, while the all-seed option computes
+//! pairwise alignment on all the available seeds separated by at least the
+//! k-mer length. As an intermediate point we consider only seeds separated
+//! by 1,000 bps." These are the three computational-intensity settings of
+//! Figures 9–11.
+
+use crate::task::SharedSeed;
+
+/// Which of a pair's shared seeds are explored by the alignment stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeedPolicy {
+    /// Exactly one seed per pair (the paper's minimum-intensity setting).
+    Single,
+    /// All seeds separated by at least this many bases on read `a`.
+    /// `MinDistance(k)` is the paper's "all seeds" setting;
+    /// `MinDistance(1000)` is the intermediate one.
+    MinDistance(u32),
+}
+
+impl SeedPolicy {
+    /// The paper's three named settings, for sweeps.
+    pub fn paper_settings(k: usize) -> [(&'static str, SeedPolicy); 3] {
+        [
+            ("one-seed", SeedPolicy::Single),
+            ("d=1K", SeedPolicy::MinDistance(1000)),
+            ("d=k", SeedPolicy::MinDistance(k as u32)),
+        ]
+    }
+
+    /// Filter a pair's seed list in place.
+    ///
+    /// Seeds must arrive sorted by `a_pos` (consolidation guarantees it);
+    /// the greedy spacing filter keeps a seed iff it lies at least the
+    /// required distance beyond the last kept seed, up to
+    /// `max_seeds_per_pair`. Returns the number of dropped seeds.
+    pub fn apply(&self, seeds: &mut Vec<SharedSeed>, max_seeds_per_pair: usize) -> usize {
+        debug_assert!(seeds.windows(2).all(|w| w[0].a_pos <= w[1].a_pos));
+        let before = seeds.len();
+        match self {
+            SeedPolicy::Single => seeds.truncate(1),
+            SeedPolicy::MinDistance(d) => {
+                let mut kept = 0usize;
+                let mut last_a: Option<u32> = None;
+                let mut last_rev: Option<bool> = None;
+                seeds.retain(|s| {
+                    if kept >= max_seeds_per_pair {
+                        return false;
+                    }
+                    // Seeds of different orientation are independent
+                    // candidate overlaps; spacing applies per orientation
+                    // run (a simple, deterministic approximation of
+                    // BELLA's chaining).
+                    let far_enough = match (last_a, last_rev) {
+                        (Some(a), Some(rev)) if rev == s.reverse => {
+                            s.a_pos >= a.saturating_add(*d)
+                        }
+                        _ => true,
+                    };
+                    if far_enough {
+                        kept += 1;
+                        last_a = Some(s.a_pos);
+                        last_rev = Some(s.reverse);
+                        true
+                    } else {
+                        false
+                    }
+                });
+            }
+        }
+        before - seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(a: u32, rev: bool) -> SharedSeed {
+        SharedSeed { a_pos: a, b_pos: a, reverse: rev }
+    }
+
+    #[test]
+    fn single_keeps_first() {
+        let mut seeds = vec![seed(5, false), seed(100, false), seed(900, false)];
+        let dropped = SeedPolicy::Single.apply(&mut seeds, 100);
+        assert_eq!(dropped, 2);
+        assert_eq!(seeds, vec![seed(5, false)]);
+    }
+
+    #[test]
+    fn min_distance_spacing() {
+        let mut seeds = vec![
+            seed(0, false),
+            seed(500, false),
+            seed(999, false),
+            seed(1001, false),
+            seed(2500, false),
+        ];
+        SeedPolicy::MinDistance(1000).apply(&mut seeds, 100);
+        assert_eq!(
+            seeds.iter().map(|s| s.a_pos).collect::<Vec<_>>(),
+            vec![0, 1001, 2500]
+        );
+    }
+
+    #[test]
+    fn min_distance_k_keeps_non_overlapping_seeds() {
+        let mut seeds: Vec<SharedSeed> = (0..10).map(|i| seed(i * 17, false)).collect();
+        SeedPolicy::MinDistance(17).apply(&mut seeds, 100);
+        assert_eq!(seeds.len(), 10);
+        let mut dense: Vec<SharedSeed> = (0..10).map(|i| seed(i, false)).collect();
+        SeedPolicy::MinDistance(17).apply(&mut dense, 100);
+        assert_eq!(dense.len(), 1);
+    }
+
+    #[test]
+    fn orientation_change_resets_spacing() {
+        let mut seeds = vec![seed(0, false), seed(5, true), seed(10, false)];
+        SeedPolicy::MinDistance(1000).apply(&mut seeds, 100);
+        // Each orientation flip is kept despite proximity.
+        assert_eq!(seeds.len(), 3);
+    }
+
+    #[test]
+    fn cap_respected() {
+        let mut seeds: Vec<SharedSeed> = (0..50).map(|i| seed(i * 2000, false)).collect();
+        SeedPolicy::MinDistance(1000).apply(&mut seeds, 8);
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn paper_settings_cover_three_points() {
+        let s = SeedPolicy::paper_settings(17);
+        assert_eq!(s[0].1, SeedPolicy::Single);
+        assert_eq!(s[1].1, SeedPolicy::MinDistance(1000));
+        assert_eq!(s[2].1, SeedPolicy::MinDistance(17));
+    }
+}

@@ -1,0 +1,397 @@
+//! Stage 3 — distributed overlap detection (paper §8, Algorithm 1).
+//!
+//! Each rank walks its hash-table partition, forms every pair of reads
+//! sharing a retained k-mer, routes the task to the home of one of its
+//! reads via the odd/even heuristic, exchanges tasks with one irregular
+//! all-to-all, and consolidates per-pair seed lists, which are then
+//! filtered by the run's [`SeedPolicy`].
+
+use crate::policy::SeedPolicy;
+use crate::task::{OverlapTask, ReadPair, SharedSeed, TaskPlacement};
+use dibella_comm::{decode_iter, encode_slice, Comm};
+use dibella_io::{ReadId, ReadPartition};
+use dibella_kcount::KmerHashTable;
+use dibella_kmer::Strand;
+use std::collections::HashMap;
+
+/// Overlap-stage configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct OverlapConfig {
+    /// Seed exploration policy.
+    pub policy: SeedPolicy,
+    /// Hard cap on seeds explored per pair ("maximum number of seeds to
+    /// explore per overlap", §8).
+    pub max_seeds_per_pair: usize,
+    /// Task placement strategy (parity heuristic, or the §9 future-work
+    /// longer-read placement).
+    pub placement: TaskPlacement,
+}
+
+impl Default for OverlapConfig {
+    fn default() -> Self {
+        Self {
+            policy: SeedPolicy::Single,
+            max_seeds_per_pair: 16,
+            placement: TaskPlacement::Parity,
+        }
+    }
+}
+
+/// Work counters for the cost model and the figure harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverlapCounters {
+    /// Retained k-mers traversed in this rank's partition (the rate unit
+    /// of Figure 6).
+    pub retained_kmers: u64,
+    /// Candidate pairs emitted (before consolidation).
+    pub pairs_emitted: u64,
+    /// Task records received in the exchange.
+    pub tasks_received: u64,
+    /// Distinct pairs after consolidation on this rank.
+    pub pairs_consolidated: u64,
+    /// Seeds kept after policy filtering.
+    pub seeds_kept: u64,
+    /// Seeds dropped by the policy.
+    pub seeds_dropped: u64,
+}
+
+/// Result of the overlap stage on one rank.
+#[derive(Debug, Default)]
+pub struct OverlapOutput {
+    /// Alignment tasks homed on this rank, sorted by pair, seeds sorted by
+    /// `a_pos` — deterministic across world sizes.
+    pub tasks: Vec<OverlapTask>,
+    /// Work counters.
+    pub counters: OverlapCounters,
+}
+
+/// Task wire record: `(ra, rb, (a_pos, b_pos, reverse))` — 20 bytes.
+type TaskMsg = (u32, u32, (u32, u32, u32));
+
+/// Run the overlap stage.
+///
+/// `table` is this rank's reliable-k-mer partition (after
+/// `retain_reliable`); `read_part` maps read IDs to their owning ranks.
+pub fn overlap_stage(
+    comm: &Comm,
+    table: &KmerHashTable,
+    read_part: &ReadPartition,
+    cfg: &OverlapConfig,
+) -> OverlapOutput {
+    overlap_stage_with_lengths(comm, table, read_part, cfg, None)
+}
+
+/// [`overlap_stage`] with global read lengths available for length-aware
+/// task placement (`TaskPlacement::LongerRead`).
+pub fn overlap_stage_with_lengths(
+    comm: &Comm,
+    table: &KmerHashTable,
+    read_part: &ReadPartition,
+    cfg: &OverlapConfig,
+    lengths: Option<&[u32]>,
+) -> OverlapOutput {
+    let p = comm.size();
+    let mut counters = OverlapCounters::default();
+
+    // ---- Algorithm 1: form pairs, buffer to the home rank ----------------
+    let mut bufs: Vec<Vec<TaskMsg>> = vec![Vec::new(); p];
+    for (_kmer, entry) in table.iter() {
+        counters.retained_kmers += 1;
+        let occs = &entry.occurrences;
+        for i in 0..occs.len() {
+            for j in (i + 1)..occs.len() {
+                let (oi, oj) = (&occs[i], &occs[j]);
+                if oi.read == oj.read {
+                    // A k-mer repeated within one read does not witness an
+                    // overlap between two reads.
+                    continue;
+                }
+                counters.pairs_emitted += 1;
+                let home: ReadId = cfg.placement.home(oi.read, oj.read, lengths);
+                // Normalize so the receiving side sees a < b.
+                let (pair, a_pos, b_pos) = if oi.read < oj.read {
+                    (ReadPair::new(oi.read, oj.read), oi.pos, oj.pos)
+                } else {
+                    (ReadPair::new(oj.read, oi.read), oj.pos, oi.pos)
+                };
+                let reverse = oi.strand != oj.strand;
+                bufs[read_part.owner_of(home)].push((
+                    pair.a,
+                    pair.b,
+                    (a_pos, b_pos, reverse as u32),
+                ));
+            }
+        }
+    }
+
+    // ---- exchange ----------------------------------------------------------
+    let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
+
+    // ---- consolidate per-pair seed lists ------------------------------------
+    let mut pairs: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
+    for buf in recv {
+        for (a, b, (a_pos, b_pos, rev)) in decode_iter::<TaskMsg>(&buf) {
+            counters.tasks_received += 1;
+            pairs
+                .entry(ReadPair { a, b })
+                .or_default()
+                .push(SharedSeed { a_pos, b_pos, reverse: rev != 0 });
+        }
+    }
+
+    // ---- filter seeds, emit deterministic task list -------------------------
+    let mut tasks: Vec<OverlapTask> = pairs
+        .into_iter()
+        .map(|(pair, mut seeds)| {
+            seeds.sort_unstable();
+            seeds.dedup();
+            counters.pairs_consolidated += 1;
+            let dropped = cfg.policy.apply(&mut seeds, cfg.max_seeds_per_pair);
+            counters.seeds_dropped += dropped as u64;
+            counters.seeds_kept += seeds.len() as u64;
+            OverlapTask { pair, seeds }
+        })
+        .collect();
+    tasks.sort_unstable_by_key(|t| t.pair);
+
+    OverlapOutput { tasks, counters }
+}
+
+/// Serial reference for tests and the single-node baseline: all pairs of
+/// reads sharing a retained k-mer, with unfiltered seed lists, computed
+/// from merged table partitions.
+pub fn reference_pairs(tables: &[&KmerHashTable]) -> HashMap<ReadPair, Vec<SharedSeed>> {
+    let mut out: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
+    for table in tables {
+        for (_kmer, entry) in table.iter() {
+            let occs = &entry.occurrences;
+            for i in 0..occs.len() {
+                for j in (i + 1)..occs.len() {
+                    let (oi, oj) = (&occs[i], &occs[j]);
+                    if oi.read == oj.read {
+                        continue;
+                    }
+                    let (pair, a_pos, b_pos) = if oi.read < oj.read {
+                        (ReadPair::new(oi.read, oj.read), oi.pos, oj.pos)
+                    } else {
+                        (ReadPair::new(oj.read, oi.read), oj.pos, oi.pos)
+                    };
+                    out.entry(pair).or_default().push(SharedSeed {
+                        a_pos,
+                        b_pos,
+                        reverse: oi.strand != oj.strand,
+                    });
+                }
+            }
+        }
+    }
+    for seeds in out.values_mut() {
+        seeds.sort_unstable();
+        seeds.dedup();
+    }
+    out
+}
+
+/// Convenience for tests: was this occurrence pair orientation-flipped?
+pub fn relative_orientation(a: Strand, b: Strand) -> bool {
+    a != b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dibella_comm::CommWorld;
+    use dibella_io::{partition_reads, Read, ReadSet};
+    use dibella_kcount::{bloom_stage, hash_stage, KcountConfig};
+
+    fn kc_cfg(k: usize, m: u32) -> KcountConfig {
+        KcountConfig {
+            k,
+            max_multiplicity: m,
+            bloom_fp_rate: 0.01,
+            expected_distinct: 10_000,
+            max_kmers_per_round: 1 << 14,
+        }
+    }
+
+    /// Reads sampled from one synthetic "genome" string so that genuine
+    /// overlaps exist. (The genome must be non-periodic or every k-mer
+    /// becomes a high-frequency repeat and gets filtered.)
+    fn overlapping_reads(n: usize, read_len: usize, stride: usize) -> ReadSet {
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let genome: Vec<u8> = (0..(n * stride + read_len))
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect();
+        (0..n as u32)
+            .map(|i| {
+                let s = i as usize * stride;
+                Read::new(i, format!("r{i}"), genome[s..s + read_len].to_vec())
+            })
+            .collect()
+    }
+
+    /// Run stages 1–3 on `p` ranks; return every rank's tasks merged,
+    /// sorted by pair.
+    fn run_pipeline_to_overlap(
+        reads: &ReadSet,
+        p: usize,
+        kc: &KcountConfig,
+        oc: &OverlapConfig,
+    ) -> Vec<OverlapTask> {
+        let (part, chunks) = partition_reads(reads, p);
+        let results = CommWorld::run(p, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, kc);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, kc);
+            overlap_stage(comm, &table, &part, oc)
+        });
+        let mut all: Vec<OverlapTask> = results.into_iter().flat_map(|o| o.tasks).collect();
+        all.sort_unstable_by_key(|t| t.pair);
+        all
+    }
+
+    #[test]
+    fn neighbours_share_overlaps() {
+        let reads = overlapping_reads(8, 60, 20);
+        let kc = kc_cfg(9, 16);
+        let oc = OverlapConfig { policy: SeedPolicy::MinDistance(9), max_seeds_per_pair: 64, ..Default::default() };
+        let tasks = run_pipeline_to_overlap(&reads, 3, &kc, &oc);
+        // Adjacent reads overlap by 40 bases → must be found.
+        for i in 0..7u32 {
+            assert!(
+                tasks.iter().any(|t| t.pair == ReadPair::new(i, i + 1)),
+                "missing pair ({i},{})",
+                i + 1
+            );
+        }
+        // Every task has at least one seed.
+        assert!(tasks.iter().all(|t| !t.seeds.is_empty()));
+    }
+
+    #[test]
+    fn distributed_matches_serial_world() {
+        let reads = overlapping_reads(10, 50, 15);
+        let kc = kc_cfg(9, 16);
+        let oc = OverlapConfig { policy: SeedPolicy::MinDistance(9), max_seeds_per_pair: 64, ..Default::default() };
+        let serial = run_pipeline_to_overlap(&reads, 1, &kc, &oc);
+        for p in [2usize, 3, 5] {
+            let dist = run_pipeline_to_overlap(&reads, p, &kc, &oc);
+            assert_eq!(dist, serial, "p={p}");
+        }
+    }
+
+    #[test]
+    fn each_pair_appears_on_exactly_one_rank() {
+        let reads = overlapping_reads(12, 50, 10);
+        let kc = kc_cfg(9, 24);
+        let oc = OverlapConfig::default();
+        let (part, chunks) = partition_reads(&reads, 4);
+        let results = CommWorld::run(4, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, &kc);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, &kc);
+            overlap_stage(comm, &table, &part, &oc)
+        });
+        let mut seen = std::collections::HashSet::new();
+        for out in &results {
+            for t in &out.tasks {
+                assert!(seen.insert(t.pair), "pair {:?} duplicated", t.pair);
+            }
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn tasks_land_on_the_home_reads_owner() {
+        let reads = overlapping_reads(12, 50, 10);
+        let kc = kc_cfg(9, 24);
+        let oc = OverlapConfig::default();
+        let (part, chunks) = partition_reads(&reads, 4);
+        let results = CommWorld::run(4, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, &kc);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, &kc);
+            (comm.rank(), overlap_stage(comm, &table, &part, &oc))
+        });
+        for (rank, out) in &results {
+            for t in &out.tasks {
+                // The task's home read must be owned by this rank. The
+                // home is one of the two endpoints (heuristic could have
+                // been evaluated in either discovery order).
+                let owners = [part.owner_of(t.pair.a), part.owner_of(t.pair.b)];
+                assert!(owners.contains(rank), "task {:?} on rank {rank}", t.pair);
+            }
+        }
+    }
+
+    #[test]
+    fn single_policy_yields_single_seed() {
+        let reads = overlapping_reads(6, 60, 12);
+        let kc = kc_cfg(9, 24);
+        let oc = OverlapConfig { policy: SeedPolicy::Single, max_seeds_per_pair: 1, ..Default::default() };
+        let tasks = run_pipeline_to_overlap(&reads, 2, &kc, &oc);
+        assert!(!tasks.is_empty());
+        assert!(tasks.iter().all(|t| t.seeds.len() == 1));
+    }
+
+    #[test]
+    fn counters_add_up() {
+        let reads = overlapping_reads(10, 50, 10);
+        let kc = kc_cfg(9, 24);
+        let oc = OverlapConfig { policy: SeedPolicy::MinDistance(9), max_seeds_per_pair: 64, ..Default::default() };
+        let (part, chunks) = partition_reads(&reads, 3);
+        let outs = CommWorld::run(3, |comm| {
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, &kc);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, &kc);
+            overlap_stage(comm, &table, &part, &oc).counters
+        });
+        let emitted: u64 = outs.iter().map(|c| c.pairs_emitted).sum();
+        let received: u64 = outs.iter().map(|c| c.tasks_received).sum();
+        assert_eq!(emitted, received, "task records lost in exchange");
+        let kept: u64 = outs.iter().map(|c| c.seeds_kept).sum();
+        let dropped: u64 = outs.iter().map(|c| c.seeds_dropped).sum();
+        // kept + dropped ≤ received (dedup may shrink before filtering).
+        assert!(kept + dropped <= received);
+        assert!(kept > 0);
+    }
+
+    #[test]
+    fn reverse_orientation_detected() {
+        // One read and (a copy whose middle is) its reverse complement
+        // share canonical k-mers with opposite strands.
+        let mut state = 0xFEED_F00Du64;
+        let fwd: Vec<u8> = (0..80)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect();
+        let rc = dibella_kmer::base::reverse_complement_ascii(&fwd);
+        let reads: ReadSet = vec![
+            Read::new(0, "fwd", fwd),
+            Read::new(1, "rc", rc),
+        ]
+        .into_iter()
+        .collect();
+        let kc = kc_cfg(9, 8);
+        let oc = OverlapConfig { policy: SeedPolicy::MinDistance(9), max_seeds_per_pair: 64, ..Default::default() };
+        let tasks = run_pipeline_to_overlap(&reads, 2, &kc, &oc);
+        let t = tasks
+            .iter()
+            .find(|t| t.pair == ReadPair::new(0, 1))
+            .expect("rc pair not found");
+        assert!(t.seeds.iter().all(|s| s.reverse), "strand flags wrong");
+    }
+}

@@ -1,0 +1,177 @@
+//! Overlap pairs, shared seeds, and the task-owner heuristic.
+
+use dibella_io::ReadId;
+
+/// An unordered pair of distinct reads, stored normalized (`a < b`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReadPair {
+    /// Smaller read ID.
+    pub a: ReadId,
+    /// Larger read ID.
+    pub b: ReadId,
+}
+
+impl ReadPair {
+    /// Normalize two distinct read IDs into a pair.
+    ///
+    /// # Panics
+    /// Panics if `x == y` — self-overlaps are skipped upstream.
+    pub fn new(x: ReadId, y: ReadId) -> Self {
+        assert_ne!(x, y, "self-pair");
+        if x < y {
+            Self { a: x, b: y }
+        } else {
+            Self { a: y, b: x }
+        }
+    }
+}
+
+/// A k-mer shared by both reads of a pair: the candidate alignment seed.
+///
+/// Positions are on each read's own forward orientation; `reverse` records
+/// whether the two reads observed the canonical k-mer on opposite strands
+/// (in which case read `b` must be reverse-complemented for alignment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SharedSeed {
+    /// k-mer position in read `a`.
+    pub a_pos: u32,
+    /// k-mer position in read `b`.
+    pub b_pos: u32,
+    /// Relative orientation: `true` if strands differ.
+    pub reverse: bool,
+}
+
+/// An alignment task: one read pair plus its (filtered) seed list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OverlapTask {
+    /// The read pair to align.
+    pub pair: ReadPair,
+    /// Seeds to explore, in increasing `a_pos` order.
+    pub seeds: Vec<SharedSeed>,
+}
+
+/// The odd/even task-placement heuristic (Algorithm 1): choose which of
+/// the pair's two reads "homes" the task, so that alignment work lands
+/// where one of the reads already lives and the load spreads over both
+/// endpoints.
+///
+/// The paper's literal predicate
+/// ```text
+/// if ra%2 = 0 AND ra > rb + 1 then buffer[owner(ra)]
+/// else if ra%2 ≠ 0 AND ra < rb + 1 then buffer[owner(ra)]
+/// else buffer[owner(rb)]
+/// ```
+/// is *order-sensitive*: a pair discovered through two different k-mers
+/// (possibly on different ranks, in different occurrence orders) could be
+/// homed at both endpoints, splitting its seed list. We use the
+/// order-independent variant with the same structure — ID parity selects
+/// the endpoint — which homes every pair uniquely and splits load evenly:
+/// the pair goes to its smaller read when the ID sum is even, to the
+/// larger when odd.
+pub fn task_home(ra: ReadId, rb: ReadId) -> ReadId {
+    let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+    if (lo + hi) % 2 == 0 {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Task placement strategies for the overlap → alignment hand-off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TaskPlacement {
+    /// The parity heuristic ([`task_home`]): near-perfect *count* balance,
+    /// indifferent to read length — the paper's production choice.
+    #[default]
+    Parity,
+    /// Paper §9 future work ("a smarter read-to-processor assignment
+    /// could optimize for variable read lengths, eliminating the exchange
+    /// imbalance"): home the task with the *longer* read's owner, so only
+    /// the shorter sequence is ever fetched. Trades task-count balance
+    /// for minimum read-exchange volume.
+    LongerRead,
+}
+
+impl TaskPlacement {
+    /// Choose the home read of a task. `lengths` maps read ID → length
+    /// and is required by [`TaskPlacement::LongerRead`].
+    pub fn home(self, ra: ReadId, rb: ReadId, lengths: Option<&[u32]>) -> ReadId {
+        match self {
+            TaskPlacement::Parity => task_home(ra, rb),
+            TaskPlacement::LongerRead => {
+                let lens = lengths.expect("LongerRead placement needs read lengths");
+                let (la, lb) = (lens[ra as usize], lens[rb as usize]);
+                match la.cmp(&lb) {
+                    std::cmp::Ordering::Greater => ra,
+                    std::cmp::Ordering::Less => rb,
+                    std::cmp::Ordering::Equal => task_home(ra, rb),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_normalizes() {
+        assert_eq!(ReadPair::new(5, 2), ReadPair::new(2, 5));
+        assert_eq!(ReadPair::new(2, 5).a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pair")]
+    fn self_pair_rejected() {
+        let _ = ReadPair::new(3, 3);
+    }
+
+    #[test]
+    fn heuristic_parity_cases() {
+        // Even ID sum → smaller endpoint.
+        assert_eq!(task_home(10, 4), 4);
+        assert_eq!(task_home(3, 9), 3);
+        // Odd ID sum → larger endpoint.
+        assert_eq!(task_home(4, 9), 9);
+        assert_eq!(task_home(9, 2), 9);
+    }
+
+    #[test]
+    fn heuristic_is_order_independent() {
+        for a in 0u32..20 {
+            for b in 0u32..20 {
+                if a != b {
+                    assert_eq!(task_home(a, b), task_home(b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heuristic_splits_load_between_endpoints() {
+        // Over all unordered pairs in a range, each read should home
+        // roughly the same number of tasks (the heuristic's purpose).
+        let n: u32 = 64;
+        let mut per_read = vec![0usize; n as usize];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                per_read[task_home(a, b) as usize] += 1;
+            }
+        }
+        let avg = per_read.iter().sum::<usize>() as f64 / n as f64;
+        let max = *per_read.iter().max().unwrap() as f64;
+        let min = *per_read.iter().min().unwrap() as f64;
+        assert!(max < avg * 1.4, "max {max} vs avg {avg}");
+        assert!(min > avg * 0.4, "min {min} vs avg {avg}");
+    }
+
+    #[test]
+    fn heuristic_is_total() {
+        // A home is always produced and it is one of the two reads.
+        for (a, b) in [(0u32, 1u32), (7, 2), (100, 101), (55, 54)] {
+            let h = task_home(a, b);
+            assert!(h == a || h == b);
+        }
+    }
+}

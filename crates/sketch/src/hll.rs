@@ -1,0 +1,200 @@
+//! HyperLogLog cardinality estimation.
+//!
+//! Paper §6: HipMer resorts to "the more expensive HyperLogLog algorithm"
+//! to size the Bloom filter when the Eq.-2 estimate is unreliable
+//! (extremely large, repetitive genomes). diBELLA's authors did not need it
+//! for their data sets but flag it for tens-of-trillions-of-base-pair
+//! inputs; we implement it as the optional sizing path.
+//!
+//! Standard HLL (Flajolet et al. 2007): `2^b` registers, each holding the
+//! maximum leading-zero rank observed in its substream; harmonic-mean
+//! estimator with small-range (linear counting) correction. Registers
+//! merge by `max`, which is exactly an all-reduce — ideal for the
+//! distributed setting.
+
+/// HyperLogLog sketch over pre-hashed 64-bit keys.
+#[derive(Clone, Debug)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    /// log2 of the register count.
+    precision: u8,
+}
+
+impl HyperLogLog {
+    /// Create a sketch with `2^precision` registers. `precision` must be in
+    /// `4..=18`; 12 (4096 registers, ~1.6 % error) is a good default.
+    ///
+    /// # Panics
+    /// Panics if precision is out of range.
+    pub fn new(precision: u8) -> Self {
+        assert!((4..=18).contains(&precision), "precision {precision} out of 4..=18");
+        Self {
+            registers: vec![0u8; 1usize << precision],
+            precision,
+        }
+    }
+
+    /// Number of registers.
+    pub fn n_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Insert a (pre-hashed) key.
+    #[inline]
+    pub fn insert(&mut self, hash: u64) {
+        let idx = (hash >> (64 - self.precision)) as usize;
+        // Rank = leading zeros of the remaining bits + 1, capped so it fits
+        // the sub-hash width.
+        let rest = hash << self.precision;
+        let rank = (rest.leading_zeros() as u8).min(64 - self.precision) + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Merge another sketch of identical precision (register-wise max) —
+    /// the distributed all-reduce combiner.
+    ///
+    /// # Panics
+    /// Panics on precision mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Raw register bytes (for wire transfer); rebuild with
+    /// [`Self::from_registers`].
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Reconstruct from raw registers.
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of two in the valid range.
+    pub fn from_registers(registers: Vec<u8>) -> Self {
+        let n = registers.len();
+        assert!(n.is_power_of_two(), "register count must be a power of two");
+        let precision = n.trailing_zeros() as u8;
+        assert!((4..=18).contains(&precision));
+        Self { registers, precision }
+    }
+
+    /// Estimate the number of distinct keys inserted.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting on empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// The theoretical relative standard error, `1.04 / sqrt(m)`.
+    pub fn standard_error(&self) -> f64 {
+        1.04 / (self.registers.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn estimates_within_error_bound() {
+        for &n in &[1_000u64, 50_000, 400_000] {
+            let mut hll = HyperLogLog::new(12);
+            for x in 0..n {
+                hll.insert(mix(x));
+            }
+            let est = hll.estimate();
+            let rel = (est - n as f64).abs() / n as f64;
+            // Allow 4 standard errors.
+            assert!(
+                rel < 4.0 * hll.standard_error(),
+                "n={n} est={est} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(12);
+        for x in 0..10_000u64 {
+            hll.insert(mix(x % 100));
+        }
+        let est = hll.estimate();
+        assert!((est - 100.0).abs() < 25.0, "est={est}");
+    }
+
+    #[test]
+    fn small_range_linear_counting() {
+        let mut hll = HyperLogLog::new(10);
+        for x in 0..10u64 {
+            hll.insert(mix(x));
+        }
+        let est = hll.estimate();
+        assert!((est - 10.0).abs() <= 2.0, "est={est}");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::new(12);
+        let mut b = HyperLogLog::new(12);
+        let mut union = HyperLogLog::new(12);
+        for x in 0..30_000u64 {
+            a.insert(mix(x));
+            union.insert(mix(x));
+        }
+        for x in 20_000..60_000u64 {
+            b.insert(mix(x));
+            union.insert(mix(x));
+        }
+        a.merge(&b);
+        assert_eq!(a.registers(), union.registers());
+    }
+
+    #[test]
+    fn register_round_trip() {
+        let mut hll = HyperLogLog::new(8);
+        for x in 0..500u64 {
+            hll.insert(mix(x));
+        }
+        let rebuilt = HyperLogLog::from_registers(hll.registers().to_vec());
+        assert_eq!(rebuilt.estimate(), hll.estimate());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = HyperLogLog::new(8);
+        let b = HyperLogLog::new(9);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 4..=18")]
+    fn precision_bounds() {
+        let _ = HyperLogLog::new(3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Cross-architecture projection (the Figure 12/13 machinery as an API
+//! example): run the pipeline once per world size, then project the
+//! measured per-rank work and traffic onto Cori, Edison, Titan and AWS,
+//! printing modeled stage times and strong-scaling efficiency.
+//!
+//! ```sh
+//! cargo run --release --example cross_platform
+//! ```
+
+use dibella::datagen::ecoli_30x_like;
+use dibella::netmodel::{strong_efficiency, NodeMapping, Platform};
+use dibella::pipeline::{project, run_pipeline, Stage};
+use dibella::prelude::*;
+
+fn main() {
+    let ds = ecoli_30x_like(0.01, 42);
+    let cfg = PipelineConfig { k: 17, depth: 30.0, error_rate: 0.15, ..Default::default() };
+    println!(
+        "workload: {} reads, {:.1} Mb (E. coli 30x-like, scale 0.01)\n",
+        ds.reads.len(),
+        ds.reads.total_bases() as f64 / 1e6
+    );
+
+    for platform in Platform::all() {
+        println!(
+            "== {} ({} cores/node, {}) ==",
+            platform.name, platform.cores_per_node, platform.network
+        );
+        println!("nodes\tranks\ttotal(s)\texchange(s)\tefficiency\tdominant stage");
+        let mut t1 = None;
+        for nodes in [1usize, 2, 4, 8] {
+            let mapping = NodeMapping::for_platform(platform, nodes);
+            let result = run_pipeline(&ds.reads, mapping.ranks(), &cfg);
+            let proj = project(platform, mapping, &result.reports);
+            let total = proj.total_seconds();
+            let t1v = *t1.get_or_insert(total);
+            let dominant = Stage::ALL
+                .into_iter()
+                .max_by(|a, b| {
+                    proj.stage(*a)
+                        .stage_seconds()
+                        .total_cmp(&proj.stage(*b).stage_seconds())
+                })
+                .unwrap();
+            println!(
+                "{nodes}\t{}\t{:.4}\t{:.4}\t{:.2}\t{}",
+                mapping.ranks(),
+                total,
+                proj.exchange_seconds(),
+                strong_efficiency(t1v, total, nodes),
+                dominant.name()
+            );
+        }
+        println!();
+    }
+    println!("(Absolute seconds are modeled; relations between platforms and the");
+    println!(" scaling shapes are the reproduction target — see EXPERIMENTS.md.)");
+}

@@ -1,0 +1,60 @@
+//! Seed exploration policies (paper §5, Figure 11's workload axis):
+//! compare one-seed, d = 1000 and d = k on the same dataset, showing the
+//! compute-intensity / alignment-quality trade-off the paper sweeps.
+//!
+//! ```sh
+//! cargo run --release --example seed_policies
+//! ```
+
+use dibella::datagen::ecoli_30x_like;
+use dibella::prelude::*;
+
+fn main() {
+    let ds = ecoli_30x_like(0.01, 123);
+    let truth = ds.true_overlaps(2_000);
+    println!(
+        "{} reads, {} true pairs (≥2 kb)\n",
+        ds.reads.len(),
+        truth.len()
+    );
+    println!("policy      alignments  DP cells(M)  cells/pair  pairs   recall%  best-score sum");
+
+    for (name, policy) in SeedPolicy::paper_settings(17) {
+        let cfg = PipelineConfig {
+            k: 17,
+            depth: 30.0,
+            error_rate: 0.15,
+            seed_policy: policy,
+            max_seeds_per_pair: 8,
+            ..Default::default()
+        };
+        let result = run_pipeline(&ds.reads, 4, &cfg);
+        let cells: u64 = result.reports.iter().map(|r| r.align.dp_cells).sum();
+        let aligns = result.n_alignments_computed();
+        let pairs = result.n_pairs();
+
+        let found: std::collections::HashSet<(u32, u32)> =
+            result.alignments.iter().map(|a| (a.pair.a, a.pair.b)).collect();
+        let recalled = truth.iter().filter(|p| found.contains(p)).count();
+
+        // Sum of each pair's best score: more seeds → better chance the
+        // best seed anchors the true overlap.
+        let mut best: std::collections::HashMap<ReadPair, i32> = std::collections::HashMap::new();
+        for a in &result.alignments {
+            let e = best.entry(a.pair).or_insert(i32::MIN);
+            *e = (*e).max(a.score);
+        }
+        let score_sum: i64 = best.values().map(|&s| s as i64).sum();
+
+        println!(
+            "{name:<11} {aligns:>10} {:>12.1} {:>11.0} {pairs:>6} {:>8.1} {score_sum:>15}",
+            cells as f64 / 1e6,
+            cells as f64 / pairs.max(1) as f64,
+            100.0 * recalled as f64 / truth.len().max(1) as f64,
+        );
+    }
+    println!("\nMore seeds per pair cost proportionally more DP work (the paper's");
+    println!("computational-intensity axis) while recall is already saturated by");
+    println!("one seed on this data — exactly BELLA's §5 rationale for the d=1000");
+    println!("intermediate setting.");
+}

@@ -1,0 +1,237 @@
+//! `dibella` — command-line front end for the pipeline.
+//!
+//! ```text
+//! dibella overlap <reads.fastq> [options]     find + align overlaps → PAF
+//! dibella simulate [options] <out.fastq>      generate PacBio-like reads
+//! dibella stats <reads.fastq>                 dataset statistics & k/m advice
+//! ```
+//!
+//! Run `dibella <command> --help` for the options of each command.
+
+use dibella::datagen::{simulate_reads, ErrorModel, GenomeSpec, ReadSimSpec};
+use dibella::kmer::params;
+use dibella::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("overlap") => cmd_overlap(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "dibella — distributed long-read overlap and alignment (ICPP 2019 reproduction)
+
+USAGE:
+  dibella overlap <reads.fastq> [-k K] [-p RANKS] [-e ERR] [-d DEPTH]
+                  [--policy one|1000|k] [-x XDROP] [--min-score S]
+                  [-o out.paf] [--gfa out.gfa]
+  dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
+                  [-e ERR] [-s SEED]
+  dibella stats <reads.fastq> [-k K] [-e ERR] [-d DEPTH]";
+
+/// Minimal flag parser: positional args plus `-f value` / `--flag value`.
+struct Flags {
+    positional: Vec<String>,
+    named: std::collections::HashMap<String, String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut positional = Vec::new();
+    let mut named = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "-h" || a == "--help" {
+            return Err(USAGE.to_owned());
+        }
+        if let Some(name) = a.strip_prefix('-') {
+            let name = name.trim_start_matches('-').to_owned();
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag -{name} expects a value"))?;
+            named.insert(name, value.clone());
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { positional, named })
+}
+
+impl Flags {
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.named.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value {v:?} for -{name}")),
+        }
+    }
+}
+
+fn load_fastq(path: &str) -> Result<ReadSet, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    dibella::io::read_fastq(BufReader::new(file), 0).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_overlap(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = flags
+        .positional
+        .first()
+        .ok_or("overlap: missing <reads.fastq>")?;
+    let reads = load_fastq(path)?;
+    if reads.is_empty() {
+        return Err("no reads in input".into());
+    }
+
+    let k: usize = flags.get("k", 17)?;
+    let ranks: usize = flags.get(
+        "p",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    )?;
+    let error_rate: f64 = flags.get("e", 0.15)?;
+    let depth: f64 = flags.get("d", 30.0)?;
+    let xdrop: i32 = flags.get("x", 25)?;
+    let min_score: i32 = flags.get("min-score", 0)?;
+    let policy = match flags.named.get("policy").map(String::as_str) {
+        None | Some("one") => SeedPolicy::Single,
+        Some("1000") => SeedPolicy::MinDistance(1000),
+        Some("k") => SeedPolicy::MinDistance(k as u32),
+        Some(other) => return Err(format!("unknown --policy {other:?} (one|1000|k)")),
+    };
+
+    let cfg = PipelineConfig {
+        k,
+        depth,
+        error_rate,
+        seed_policy: policy,
+        xdrop,
+        min_align_score: min_score,
+        ..Default::default()
+    };
+    eprintln!(
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks",
+        reads.len(),
+        reads.total_bases() as f64 / 1e6,
+        cfg.multiplicity_threshold()
+    );
+    let t = std::time::Instant::now();
+    let result = run_pipeline(&reads, ranks, &cfg);
+    eprintln!(
+        "dibella: {} pairs, {} alignments in {:.2?}",
+        result.n_pairs(),
+        result.n_alignments_computed(),
+        t.elapsed()
+    );
+
+    // PAF output.
+    let names = |id: ReadId| reads.reads()[id as usize].name.clone();
+    let lens = |id: ReadId| reads.reads()[id as usize].len() as u32;
+    let mut out: Box<dyn Write> = match flags.named.get("o") {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("create {p}: {e}"))?,
+        )),
+        None => Box::new(BufWriter::new(std::io::stdout())),
+    };
+    for rec in &result.alignments {
+        writeln!(out, "{}", rec.to_paf(&names, &lens)).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    // Optional GFA overlap graph.
+    if let Some(gfa_path) = flags.named.get("gfa") {
+        let graph = dibella::pipeline::OverlapGraph::from_alignments(
+            reads.len(),
+            &result.alignments,
+            min_score,
+        );
+        let (_, components) = graph.connected_components();
+        eprintln!(
+            "dibella: overlap graph: {} edges, {components} components",
+            graph.n_edges()
+        );
+        let gfa = graph.to_gfa(&names, &|id| Some(reads.reads()[id as usize].seq.clone()));
+        std::fs::write(gfa_path, gfa).map_err(|e| format!("write {gfa_path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let out_path = flags
+        .positional
+        .first()
+        .ok_or("simulate: missing <out.fastq>")?;
+    let genome_bp: usize = flags.get("g", 100_000)?;
+    let depth: f64 = flags.get("d", 30.0)?;
+    let mean_len: usize = flags.get("l", 10_000)?;
+    let error: f64 = flags.get("e", 0.15)?;
+    let seed: u64 = flags.get("s", 42)?;
+
+    let genome = GenomeSpec { size: genome_bp, seed, ..Default::default() }.generate();
+    let ds = simulate_reads(
+        &genome,
+        &ReadSimSpec {
+            depth,
+            mean_len: mean_len.min(genome_bp / 2),
+            min_len: (mean_len / 10).max(100),
+            errors: ErrorModel::pacbio(error),
+            seed: seed ^ 0x0D1B_E11A,
+            ..Default::default()
+        },
+    );
+    let file = File::create(out_path).map_err(|e| format!("create {out_path}: {e}"))?;
+    dibella::io::write_fastq(BufWriter::new(file), &ds.reads).map_err(|e| e.to_string())?;
+    eprintln!(
+        "dibella: wrote {} reads ({:.1} Mb, {:.1}x of {genome_bp} bp) to {out_path}",
+        ds.reads.len(),
+        ds.reads.total_bases() as f64 / 1e6,
+        ds.realized_depth()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let path = flags.positional.first().ok_or("stats: missing <reads.fastq>")?;
+    let reads = load_fastq(path)?;
+    let k: usize = flags.get("k", 17)?;
+    let error: f64 = flags.get("e", 0.15)?;
+    let depth_flag: f64 = flags.get("d", 0.0)?;
+
+    let total = reads.total_bases();
+    println!("reads:          {}", reads.len());
+    println!("bases:          {total}");
+    println!("mean length:    {:.0}", reads.mean_length());
+    let longest = reads.iter().map(|r| r.len()).max().unwrap_or(0);
+    println!("longest read:   {longest}");
+    println!("k-mer bag (~):  {total}  (Eq. 2: ≈ G·d)");
+    if depth_flag > 0.0 {
+        let m = params::reliable_max_multiplicity(depth_flag, error, k, 1e-4);
+        let genome_est = total as f64 / depth_flag;
+        println!("assumed depth:  {depth_flag}");
+        println!("genome (G=N/d): {:.0}", genome_est);
+        println!("reliable m:     {m}  (k={k}, e={error})");
+    } else {
+        println!("(pass -d DEPTH to derive the high-occurrence threshold m)");
+    }
+    let p_one = params::prob_shared_correct_kmer(2000, k, error);
+    println!("P(shared correct {k}-mer | 2kb overlap) = {p_one:.4}");
+    Ok(())
+}

@@ -1,0 +1,144 @@
+//! Edge-case and failure-injection tests across the public API surface:
+//! degenerate inputs the pipeline must survive (or reject loudly).
+
+use dibella::prelude::*;
+
+fn cfg_k(k: usize) -> PipelineConfig {
+    PipelineConfig {
+        k,
+        depth: 10.0,
+        error_rate: 0.1,
+        max_multiplicity: Some(16),
+        ..Default::default()
+    }
+}
+
+/// Reads shorter than k contribute no k-mers but must flow through every
+/// stage without panicking.
+#[test]
+fn reads_shorter_than_k() {
+    let reads: ReadSet = (0..6u32)
+        .map(|i| Read::new(i, format!("r{i}"), vec![b'A'; 5]))
+        .collect();
+    let res = run_pipeline(&reads, 3, &cfg_k(15));
+    assert_eq!(res.alignments.len(), 0);
+    assert_eq!(res.n_pairs(), 0);
+}
+
+/// A single read cannot overlap anything.
+#[test]
+fn single_read_dataset() {
+    let reads: ReadSet = vec![Read::new(0, "only", vec![b'A'; 500])]
+        .into_iter()
+        .collect();
+    let res = run_pipeline(&reads, 2, &cfg_k(11));
+    assert_eq!(res.n_pairs(), 0);
+}
+
+/// More ranks than reads: most ranks own nothing, collectives must still
+/// match.
+#[test]
+fn more_ranks_than_reads() {
+    let mut state = 0x5EEDu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..400).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+    let reads: ReadSet = (0..3u32)
+        .map(|i| Read::new(i, format!("r{i}"), genome[i as usize * 100..][..200].to_vec()))
+        .collect();
+    let res = run_pipeline(&reads, 16, &cfg_k(11));
+    assert!(res.n_pairs() >= 2, "adjacent overlaps missed");
+    assert_eq!(res.reports.len(), 16);
+}
+
+/// Reads consisting only of ambiguous bases yield no k-mers at all.
+#[test]
+fn all_ambiguous_reads() {
+    let reads: ReadSet = (0..4u32)
+        .map(|i| Read::new(i, format!("n{i}"), vec![b'N'; 300]))
+        .collect();
+    let res = run_pipeline(&reads, 2, &cfg_k(11));
+    assert_eq!(res.n_pairs(), 0);
+    let kmers: u64 = res.reports.iter().map(|r| r.bloom.kmers_parsed).sum();
+    assert_eq!(kmers, 0);
+}
+
+/// Identical duplicate reads: every k-mer recurs `n` times; with m below
+/// n everything is filtered, with m above n every pair aligns full-length.
+#[test]
+fn duplicate_reads_follow_m() {
+    let mut state = 0xFEEDu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let seq: Vec<u8> = (0..300).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+    let reads: ReadSet = (0..6u32)
+        .map(|i| Read::new(i, format!("dup{i}"), seq.clone()))
+        .collect();
+    // m = 4 < 6 copies → all k-mers are "repeats", no overlaps.
+    let strict = run_pipeline(&reads, 2, &PipelineConfig { max_multiplicity: Some(4), ..cfg_k(11) });
+    assert_eq!(strict.n_pairs(), 0);
+    // m = 16 > 6 → all 15 pairs, each aligned end to end.
+    let lax = run_pipeline(&reads, 2, &PipelineConfig { max_multiplicity: Some(16), ..cfg_k(11) });
+    assert_eq!(lax.n_pairs(), 15);
+    assert!(lax.alignments.iter().all(|a| a.score == 300));
+}
+
+/// Malformed FASTQ through the parallel-input path fails loudly, not
+/// silently. (Single rank: in a multi-rank world a rank panic leaves
+/// peers blocked at the barrier, like an aborted MPI job — the CommWorld
+/// docs call this hazard out.)
+#[test]
+#[should_panic(expected = "malformed FASTQ")]
+fn malformed_fastq_panics() {
+    let bad = b"@r0\nACGT\nOOPS\nIIII\n".to_vec();
+    let _ = run_pipeline_fastq(&bad, 1, &cfg_k(11));
+}
+
+/// Empty FASTQ input: zero reads, zero output, no hangs.
+#[test]
+fn empty_fastq() {
+    let res = run_pipeline_fastq(b"", 3, &cfg_k(11));
+    assert_eq!(res.alignments.len(), 0);
+    assert_eq!(res.reports.len(), 3);
+}
+
+/// The x-drop parameter must be positive — misconfiguration is caught at
+/// the kernel boundary.
+#[test]
+#[should_panic(expected = "x-drop threshold must be positive")]
+fn zero_xdrop_rejected() {
+    let _ = dibella::align::extend_xdrop(b"ACGT", b"ACGT", dibella::align::Scoring::bella(), 0);
+}
+
+/// Reverse-complement palindromic content (seeds hitting themselves) must
+/// not produce self-pairs.
+#[test]
+fn no_self_pairs_ever() {
+    let mut state = 0xABCu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..2_000).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+    // Reads with internal repeat structure (same k-mer twice per read).
+    let reads: ReadSet = (0..8u32)
+        .map(|i| {
+            let mut seq = genome[i as usize * 150..][..400].to_vec();
+            let dup: Vec<u8> = seq[..40].to_vec();
+            seq.extend_from_slice(&dup);
+            Read::new(i, format!("r{i}"), seq)
+        })
+        .collect();
+    let res = run_pipeline(&reads, 3, &cfg_k(11));
+    assert!(res.alignments.iter().all(|a| a.pair.a != a.pair.b));
+}

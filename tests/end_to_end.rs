@@ -1,0 +1,212 @@
+//! End-to-end integration tests over the whole workspace: synthetic
+//! PacBio-like data → full distributed pipeline → ground-truth recall,
+//! world-size invariance, baseline agreement and the parallel-input path.
+
+use dibella::datagen::{ecoli_30x_like, simulate_reads, ErrorModel, GenomeSpec, ReadSimSpec};
+use dibella::prelude::*;
+use std::collections::HashSet;
+
+fn toy_dataset(seed: u64) -> dibella::datagen::SyntheticDataset {
+    let genome = GenomeSpec { size: 15_000, seed, ..Default::default() }.generate();
+    simulate_reads(
+        &genome,
+        &ReadSimSpec {
+            depth: 10.0,
+            mean_len: 2_000,
+            min_len: 400,
+            errors: ErrorModel::pacbio(0.12),
+            seed: seed ^ 0xABCD,
+            ..Default::default()
+        },
+    )
+}
+
+fn toy_cfg() -> PipelineConfig {
+    PipelineConfig {
+        k: 15,
+        depth: 10.0,
+        error_rate: 0.12,
+        seed_policy: SeedPolicy::Single,
+        max_kmers_per_round: 4096, // force multi-round exchanges
+        ..Default::default()
+    }
+}
+
+/// The headline scientific claim: overlapping noisy long reads are found
+/// via shared reliable k-mers with high recall.
+#[test]
+fn recall_on_noisy_reads() {
+    let ds = toy_dataset(1);
+    let res = run_pipeline(&ds.reads, 4, &toy_cfg());
+    let found: HashSet<(u32, u32)> = res.alignments.iter().map(|a| (a.pair.a, a.pair.b)).collect();
+    let truth = ds.true_overlaps(1_000);
+    assert!(truth.len() > 50, "weak test: only {} true pairs", truth.len());
+    let recalled = truth.iter().filter(|p| found.contains(p)).count();
+    let recall = recalled as f64 / truth.len() as f64;
+    assert!(recall >= 0.95, "recall {recall:.3} below 95%");
+}
+
+/// Alignments returned must correspond to genuinely similar reads: every
+/// accepted record with a solid score is a true genomic overlap.
+#[test]
+fn precision_of_confident_alignments() {
+    let ds = toy_dataset(2);
+    let cfg = PipelineConfig { min_align_score: 300, ..toy_cfg() };
+    let res = run_pipeline(&ds.reads, 3, &cfg);
+    assert!(!res.alignments.is_empty());
+    let truth: HashSet<(u32, u32)> = ds.true_overlaps(200).into_iter().collect();
+    let bad: Vec<_> = res
+        .alignments
+        .iter()
+        .filter(|a| !truth.contains(&(a.pair.a, a.pair.b)))
+        .collect();
+    assert!(
+        bad.len() * 50 <= res.alignments.len(),
+        "{} of {} confident alignments are not true overlaps",
+        bad.len(),
+        res.alignments.len()
+    );
+}
+
+/// Distributed-equals-serial: the pipeline's output is identical for any
+/// world size (the paper's correctness invariant for its parallelization).
+#[test]
+fn world_size_invariance_on_noisy_data() {
+    let ds = toy_dataset(3);
+    let cfg = toy_cfg();
+    let serial = run_pipeline(&ds.reads, 1, &cfg);
+    for p in [2usize, 5, 16] {
+        let par = run_pipeline(&ds.reads, p, &cfg);
+        assert_eq!(par.alignments, serial.alignments, "P={p}");
+    }
+}
+
+/// The FASTQ parallel-input path (block partitioning + exscan ID
+/// assignment) produces the same result as the in-memory path.
+#[test]
+fn fastq_round_trip_pipeline() {
+    let ds = toy_dataset(4);
+    let mut fastq = Vec::new();
+    dibella::io::write_fastq(&mut fastq, &ds.reads).unwrap();
+    let cfg = toy_cfg();
+    let a = run_pipeline(&ds.reads, 4, &cfg);
+    let b = run_pipeline_fastq(&fastq, 4, &cfg);
+    assert_eq!(a.alignments, b.alignments);
+}
+
+/// The DALIGNER-style baseline and the distributed pipeline implement the
+/// same overlap semantics: identical filtering and kernel ⇒ identical
+/// alignment sets.
+#[test]
+fn baseline_agrees_with_pipeline() {
+    let ds = toy_dataset(5);
+    let cfg = toy_cfg();
+    let pipe = run_pipeline(&ds.reads, 4, &cfg);
+    let bres = dibella::baseline::run_baseline(
+        &ds.reads,
+        &dibella::baseline::BaselineConfig {
+            k: cfg.k,
+            max_multiplicity: cfg.multiplicity_threshold(),
+            seed_min_distance: None, // Single policy
+            max_seeds_per_pair: cfg.max_seeds_per_pair,
+            xdrop: cfg.xdrop,
+            scoring: cfg.scoring,
+            min_score: cfg.min_align_score,
+        },
+    );
+    let pipe_set: Vec<(u32, u32, bool, i32)> = pipe
+        .alignments
+        .iter()
+        .map(|a| (a.pair.a, a.pair.b, a.reverse, a.score))
+        .collect();
+    let base_set: Vec<(u32, u32, bool, i32)> = bres
+        .alignments
+        .iter()
+        .map(|a| (a.a, a.b, a.reverse, a.score))
+        .collect();
+    assert_eq!(pipe_set, base_set);
+}
+
+/// Reverse-complement orientation handling end to end: flipping every
+/// read's strand must not change which pairs are found.
+#[test]
+fn strand_invariance() {
+    let ds = toy_dataset(6);
+    let cfg = toy_cfg();
+    let forward = run_pipeline(&ds.reads, 2, &cfg);
+
+    let flipped: ReadSet = ds
+        .reads
+        .iter()
+        .map(|r| {
+            Read::new(
+                r.id,
+                r.name.clone(),
+                dibella::kmer::base::reverse_complement_ascii(&r.seq),
+            )
+        })
+        .collect();
+    let reversed = run_pipeline(&flipped, 2, &cfg);
+
+    let pairs = |res: &PipelineResult| -> HashSet<(u32, u32)> {
+        res.alignments.iter().map(|a| (a.pair.a, a.pair.b)).collect()
+    };
+    let a = pairs(&forward);
+    let b = pairs(&reversed);
+    let common = a.intersection(&b).count();
+    // Canonical k-mers make discovery strand-independent; allow a tiny
+    // fringe from boundary effects.
+    assert!(
+        common * 100 >= a.len() * 97 && common * 100 >= b.len() * 97,
+        "pair sets differ: {} vs {} (common {common})",
+        a.len(),
+        b.len()
+    );
+}
+
+/// The E. coli 30×-like preset at small scale exercises every stage and
+/// meets the paper's filtering expectations (most k-mers are singletons;
+/// retained fraction is small).
+#[test]
+fn ecoli_preset_statistics() {
+    let ds = ecoli_30x_like(0.004, 9);
+    let cfg = PipelineConfig { k: 17, depth: 30.0, error_rate: 0.15, ..Default::default() };
+    let res = run_pipeline(&ds.reads, 4, &cfg);
+    let singles: u64 = res.reports.iter().map(|r| r.filter.singletons_removed).sum();
+    let retained: u64 = res.reports.iter().map(|r| r.filter.retained).sum();
+    let highf: u64 = res.reports.iter().map(|r| r.filter.high_freq_removed).sum();
+    let kmers: u64 = res.reports.iter().map(|r| r.bloom.kmers_received).sum();
+    // §6: up to 98% of long-read k-mers are singletons. At 15% error and
+    // k=17 the singleton fraction of the distinct set is overwhelming.
+    // The Bloom filter already absorbed most singletons: table keys ≪ bag.
+    let table_total = singles + retained + highf;
+    assert!(
+        table_total < kmers / 2,
+        "Bloom filter ineffective: {table_total} keys from {kmers} k-mers"
+    );
+    assert!(retained > 0);
+    // Retained set is a small fraction of the k-mer bag (filtering
+    // reduces the k-mer set by 85–98%, §9).
+    assert!(
+        (retained as f64) < 0.15 * kmers as f64,
+        "retained fraction too high: {retained}/{kmers}"
+    );
+    // And overlaps were actually found.
+    assert!(res.n_pairs() > 100);
+}
+
+/// Memory-bound streaming: shrinking the per-round cap changes rounds,
+/// traffic chunking and nothing else.
+#[test]
+fn round_cap_invariance() {
+    let ds = toy_dataset(7);
+    let base_cfg = toy_cfg();
+    let small_rounds = PipelineConfig { max_kmers_per_round: 512, ..base_cfg.clone() };
+    let big_rounds = PipelineConfig { max_kmers_per_round: 1 << 22, ..base_cfg };
+    let a = run_pipeline(&ds.reads, 3, &small_rounds);
+    let b = run_pipeline(&ds.reads, 3, &big_rounds);
+    assert_eq!(a.alignments, b.alignments);
+    let rounds_a: u64 = a.reports.iter().map(|r| r.bloom.rounds).max().unwrap();
+    let rounds_b: u64 = b.reports.iter().map(|r| r.bloom.rounds).max().unwrap();
+    assert!(rounds_a > rounds_b, "cap did not change round count");
+}

@@ -174,8 +174,8 @@ pub fn global_alignment(a: &[u8], b: &[u8], scoring: Scoring) -> (i32, Cigar) {
     let width = m + 1;
     let mut dp = vec![NEG; (n + 1) * width];
     dp[0] = 0;
-    for j in 1..=m {
-        dp[j] = scoring.gap * j as i32;
+    for (j, cell) in dp.iter_mut().enumerate().take(m + 1).skip(1) {
+        *cell = scoring.gap * j as i32;
     }
     for i in 1..=n {
         dp[i * width] = scoring.gap * i as i32;

@@ -1,0 +1,46 @@
+//! Fast CI smoke signal: one tiny end-to-end pipeline run on a 2-rank
+//! world, designed to finish in well under 5 seconds so a broken build is
+//! caught before the heavier `end_to_end` / `model_projection` suites run.
+
+use dibella::prelude::*;
+use std::time::Instant;
+
+/// Tiny deterministic dataset → 2-rank pipeline → overlaps found, reports
+/// consistent, and the whole thing is fast.
+#[test]
+fn two_rank_pipeline_smoke() {
+    let t0 = Instant::now();
+
+    // A 4 kb pseudo-random genome sliced into 30 overlapping error-free
+    // reads (stride 120, length 400: every adjacent pair shares 280 bases).
+    let mut state = 0x5EED_CAFEu64;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..4_000).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+    let reads: ReadSet = (0..30u32)
+        .map(|i| Read::new(i, format!("r{i}"), genome[i as usize * 120..][..400].to_vec()))
+        .collect();
+
+    let cfg = PipelineConfig {
+        k: 15,
+        depth: 3.0,
+        error_rate: 0.0,
+        max_multiplicity: Some(16),
+        ..Default::default()
+    };
+    let res = run_pipeline(&reads, 2, &cfg);
+
+    // Adjacent slices overlap by 280 bases — the pipeline must find pairs
+    // and align them with positive scores.
+    assert!(res.n_pairs() >= 20, "expected >= 20 overlap pairs, got {}", res.n_pairs());
+    assert!(!res.alignments.is_empty());
+    assert!(res.alignments.iter().all(|a| a.score > 0 && a.pair.a < a.pair.b));
+    assert_eq!(res.reports.len(), 2, "one report per rank");
+
+    let elapsed = t0.elapsed();
+    assert!(elapsed.as_secs_f64() < 5.0, "smoke test too slow: {elapsed:?}");
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no registry access, so this
+//! vendored crate provides the API surface the workspace's benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups with `sample_size`/`throughput`, [`BenchmarkId`], [`Throughput`]
+//! and `Bencher::iter` — with a deliberately simple measurement loop: warm
+//! up once, run `sample_size` timed samples, print the mean per-iteration
+//! wall time. No statistics, plots or comparisons; it keeps
+//! `cargo bench --no-run` and `cargo bench` working end to end.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working like the real crate.
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.render(), 10, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the amount of work one iteration represents.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing happens as benches run).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter rendering.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { function: s.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { function: s, parameter: None }
+    }
+}
+
+/// Work represented by one iteration, for ops/s style reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = match tp {
+        Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+            format!("  {:>10.1} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+            format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {mean:>12.3?}/iter{rate}");
+}
+
+/// Collect bench functions into a runnable group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro.
+///
+/// `cargo test` and `cargo bench` pass harness flags (`--bench`, filters);
+/// they are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment for this repository has no registry access, so this
+//! vendored crate maps the parallel-iterator surface the workspace uses onto
+//! **sequential** std equivalents: `par_iter` → `iter`, `flat_map_iter` →
+//! `flat_map`, `par_sort_unstable*` → `sort_unstable*`. Semantics (and, for
+//! the deterministic baseline, results) are identical to real rayon; only
+//! wall-clock parallel speedup is lost. Swapping the real crate back in
+//! requires no source changes.
+
+/// Adapter methods on iterators standing in for rayon's `ParallelIterator`.
+pub trait ParallelIterator: Iterator + Sized {
+    /// Sequential stand-in for `ParallelIterator::flat_map_iter`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Sequential stand-in for `ParallelIterator::map` (already on Iterator;
+    /// present so fully-qualified rayon calls keep resolving).
+    fn par_map<U, F>(self, f: F) -> std::iter::Map<Self, F>
+    where
+        F: FnMut(Self::Item) -> U,
+    {
+        self.map(f)
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `par_iter` on slices (and things that deref to slices, e.g. `Vec`).
+pub trait IntoParallelRefIterator {
+    /// Element type.
+    type Item;
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, Self::Item>;
+}
+
+impl<T> IntoParallelRefIterator for [T] {
+    type Item = T;
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// `par_iter_mut` on slices.
+pub trait IntoParallelRefMutIterator {
+    /// Element type.
+    type Item;
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::Item>;
+}
+
+impl<T> IntoParallelRefMutIterator for [T] {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Sequential stand-ins for rayon's parallel slice sorts.
+pub trait ParallelSliceMut<T> {
+    /// Stand-in for `par_sort_unstable`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Stand-in for `par_sort_unstable_by_key`.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+
+    /// Stand-in for `par_sort_unstable_by`.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key)
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+        self.sort_unstable_by(cmp)
+    }
+}
+
+/// The usual glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_surface_matches_sequential() {
+        let v = vec![3u32, 1, 2];
+        let doubled: Vec<u32> = v.par_iter().flat_map_iter(|&x| [x, x]).collect();
+        assert_eq!(doubled, vec![3, 3, 1, 1, 2, 2]);
+        let mut s = v.clone();
+        s.par_sort_unstable();
+        assert_eq!(s, vec![1, 2, 3]);
+        let mut t = v;
+        t.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(t, vec![3, 2, 1]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no registry access, and the
+//! workspace only *annotates* types with `Serialize`/`Deserialize` (the
+//! actual wire format is the hand-rolled `dibella_comm::wire`). So this
+//! vendored crate provides marker traits and re-exports no-op derive macros
+//! of the same names; `use serde::{Deserialize, Serialize}` imports both the
+//! trait and the derive, exactly like the real crate.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` expand to nothing. Types in this workspace only
+//! carry the derives as forward-looking annotations; nothing serializes
+//! through serde at runtime (the wire format is the hand-rolled
+//! `dibella_comm::wire`). If real serialization lands, replace `vendor/serde*`
+//! with the registry crates — no source changes needed.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

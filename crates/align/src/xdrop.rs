@@ -3,7 +3,7 @@
 //! Paper §2: "in place of full dynamic programming ... one can search only
 //! for solutions with a limited number of mismatches (banded
 //! Smith-Waterman) and terminate early when the alignment score drops
-//! significantly (x-drop) [37]. This makes pairwise alignment linear in
+//! significantly (x-drop) \[37\]. This makes pairwise alignment linear in
 //! L." The original algorithm is Zhang, Schwartz, Wagner & Miller (2000);
 //! diBELLA calls SeqAn's implementation — this is a from-scratch
 //! equivalent (see DESIGN.md §2).

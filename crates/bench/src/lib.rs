@@ -10,6 +10,9 @@
 //! Scale knobs (environment): `DIBELLA_SCALE` (E. coli 30×-like genome
 //! scale, default 0.01 ≈ 46 kb) and `DIBELLA_SCALE_100X` (100×-like,
 //! default 0.006). `scale = 1.0` reproduces paper-sized inputs.
+//! `DIBELLA_ALIGN_THREADS` sets the intra-rank alignment thread count
+//! (default 1; `0` = all hardware threads) — results are bit-identical
+//! at every setting, only wall time changes.
 
 #![warn(missing_docs)]
 
@@ -60,6 +63,15 @@ fn env_scale(var: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// The `DIBELLA_ALIGN_THREADS` environment knob: intra-rank threads for
+/// the alignment stage (see [`dibella_core::PipelineConfig::align_threads`]).
+pub fn env_align_threads() -> usize {
+    std::env::var("DIBELLA_ALIGN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Construct a workload's synthetic dataset at the bench scale.
 pub fn dataset(w: Workload) -> SyntheticDataset {
     match w {
@@ -81,6 +93,7 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         error_rate,
         seed_policy: policy,
         max_seeds_per_pair: 4,
+        align_threads: env_align_threads(),
         ..Default::default()
     }
 }

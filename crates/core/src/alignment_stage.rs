@@ -6,6 +6,19 @@
 //! from their owners (one irregular exchange), receives the sequences
 //! (a second irregular exchange of variable-length records), then runs
 //! the x-drop kernel on every (pair, seed) task locally.
+//!
+//! # Intra-rank parallelism
+//!
+//! The local alignment loop is the pipeline's dominant compute cost
+//! (paper Figure 7 and the §9 breakdowns), so [`align_tasks`] is a
+//! *hybrid-parallel* executor: tasks are sharded into fixed-size batches
+//! of [`ALIGN_BATCH_TASKS`], each batch is aligned independently on a
+//! thread pool of [`PipelineConfig::align_threads`] workers, and the
+//! per-batch `(records, counters)` results are merged back **in batch
+//! order**. Batch boundaries depend only on the task list — never on the
+//! thread count — so output records and [`AlignCounters`] are
+//! bit-identical for every `align_threads` value, including the
+//! sequential `1`.
 
 use crate::config::PipelineConfig;
 use crate::record::AlignmentRecord;
@@ -14,7 +27,16 @@ use dibella_comm::{decode_vec, encode_slice, Comm};
 use dibella_io::{ReadId, ReadStore};
 use dibella_kmer::base::reverse_complement_ascii;
 use dibella_overlap::OverlapTask;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
 use std::collections::HashSet;
+
+/// Tasks per batch in the parallel alignment executor. Fixed (not derived
+/// from the thread count) so the sharding — and therefore the merged
+/// output order — is identical no matter how many threads run it. Small
+/// enough to load-balance the heavy-tailed per-task DP cost of Figure 8,
+/// large enough to amortize scheduling.
+pub const ALIGN_BATCH_TASKS: usize = 32;
 
 /// Work counters of the alignment stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,6 +55,32 @@ pub struct AlignCounters {
     pub read_bytes_fetched: u64,
     /// Alignments meeting the output score threshold.
     pub accepted: u64,
+}
+
+impl AlignCounters {
+    /// Add another counter set into this one (used to fold per-batch
+    /// counters from the parallel executor; field-wise sum, so the result
+    /// is independent of fold order).
+    pub fn merge(&mut self, other: &AlignCounters) {
+        // Exhaustive destructuring (no `..`): adding a counter field
+        // without merging it is a compile error, not a silent zero.
+        let AlignCounters {
+            tasks,
+            alignments,
+            dp_cells,
+            reads_requested,
+            read_bytes_served,
+            read_bytes_fetched,
+            accepted,
+        } = *other;
+        self.tasks += tasks;
+        self.alignments += alignments;
+        self.dp_cells += dp_cells;
+        self.reads_requested += reads_requested;
+        self.read_bytes_served += read_bytes_served;
+        self.read_bytes_fetched += read_bytes_fetched;
+        self.accepted += accepted;
+    }
 }
 
 /// Fetch every remote read referenced by `tasks` into `store` (two
@@ -111,6 +159,44 @@ pub fn align_tasks(
     cfg: &PipelineConfig,
     counters: &mut AlignCounters,
 ) -> Vec<AlignmentRecord> {
+    let threads = cfg.effective_align_threads();
+    if threads <= 1 {
+        // Sequential fast path: one pass over the whole task list (batch
+        // boundaries cannot affect output, so sharding would only cost
+        // allocations on the pipeline's default hot path).
+        let (out, pass_counters) = align_batch(store, tasks, cfg);
+        counters.merge(&pass_counters);
+        return out;
+    }
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("alignment thread pool");
+    let batches: Vec<(Vec<AlignmentRecord>, AlignCounters)> = pool.install(|| {
+        tasks
+            .par_chunks(ALIGN_BATCH_TASKS)
+            .map(|batch| align_batch(store, batch, cfg))
+            .collect()
+    });
+    // Merge in batch order: records concatenate to exactly the sequential
+    // output; counters are field-wise sums.
+    let mut out = Vec::new();
+    for (records, batch_counters) in batches {
+        out.extend(records);
+        counters.merge(&batch_counters);
+    }
+    out
+}
+
+/// Align one batch of tasks sequentially — the per-worker unit of
+/// [`align_tasks`]. Returns the batch's records (task order) and its
+/// isolated counters.
+fn align_batch(
+    store: &ReadStore,
+    tasks: &[OverlapTask],
+    cfg: &PipelineConfig,
+) -> (Vec<AlignmentRecord>, AlignCounters) {
+    let mut counters = AlignCounters::default();
     let mut out = Vec::new();
     let k = cfg.k;
     for task in tasks {
@@ -149,7 +235,7 @@ pub fn align_tasks(
             }
         }
     }
-    out
+    (out, counters)
 }
 
 #[cfg(test)]
@@ -280,6 +366,56 @@ mod tests {
         // Full-length reverse overlap: 80 matches.
         assert_eq!(recs[0].score, 80);
         assert!(recs[0].reverse);
+    }
+
+    #[test]
+    fn parallel_executor_is_bit_identical_to_sequential() {
+        // Enough overlapping reads to produce several hundred tasks —
+        // many multiples of ALIGN_BATCH_TASKS, so every thread count
+        // below exercises multi-batch scheduling.
+        let mut state = 0xD15EA5Eu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let genome: Vec<u8> = (0..3_000).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+        let n = 40u32;
+        let reads: ReadSet = (0..n)
+            .map(|i| Read::new(i, format!("r{i}"), genome[i as usize * 60..][..400].to_vec()))
+            .collect();
+        let (part, chunks) = partition_reads(&reads, 1);
+        let store = ReadStore::new(0, part, chunks[0].clone().into_reads());
+        // All-pairs tasks with a few seeds each (coordinates need not be
+        // true shared k-mers — the kernel aligns whatever it is given).
+        let mut tasks = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                tasks.push(OverlapTask {
+                    pair: ReadPair::new(a, b),
+                    seeds: vec![
+                        SharedSeed { a_pos: 5, b_pos: 9, reverse: false },
+                        SharedSeed { a_pos: 120, b_pos: 60, reverse: (a + b) % 2 == 0 },
+                    ],
+                });
+            }
+        }
+        assert!(tasks.len() > 10 * ALIGN_BATCH_TASKS);
+
+        let base_cfg = PipelineConfig { k: 17, ..Default::default() };
+        let mut seq_counters = AlignCounters::default();
+        let seq_cfg = PipelineConfig { align_threads: 1, ..base_cfg.clone() };
+        let seq = align_tasks(&store, &tasks, &seq_cfg, &mut seq_counters);
+        assert_eq!(seq_counters.tasks, tasks.len() as u64);
+
+        for threads in [2usize, 4, 0] {
+            let cfg = PipelineConfig { align_threads: threads, ..base_cfg.clone() };
+            let mut counters = AlignCounters::default();
+            let par = align_tasks(&store, &tasks, &cfg, &mut counters);
+            assert_eq!(par, seq, "records diverge at align_threads = {threads}");
+            assert_eq!(counters, seq_counters, "counters diverge at align_threads = {threads}");
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct PipelineConfig {
     /// Alignment-task placement: the paper's parity heuristic, or the §9
     /// future-work longer-read placement that minimizes read movement.
     pub placement: TaskPlacement,
+    /// Intra-rank threads for the alignment stage (hybrid parallelism,
+    /// paper §9 / diBELLA 2D lineage): `1` = sequential (the default),
+    /// `0` = one thread per hardware core, `n` = exactly `n` threads.
+    /// Results are bit-identical for every value — tasks are sharded into
+    /// fixed-size batches and merged back in batch order.
+    pub align_threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -56,6 +62,7 @@ impl Default for PipelineConfig {
             bloom_fp_rate: 0.05,
             hll_precision: None,
             placement: TaskPlacement::Parity,
+            align_threads: 1,
         }
     }
 }
@@ -81,6 +88,16 @@ impl PipelineConfig {
         kc.bloom_fp_rate = self.bloom_fp_rate;
         kc.max_kmers_per_round = self.max_kmers_per_round;
         kc
+    }
+
+    /// The alignment-stage thread count actually used: `align_threads`,
+    /// with `0` resolved to the hardware parallelism.
+    pub fn effective_align_threads(&self) -> usize {
+        if self.align_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.align_threads
+        }
     }
 
     /// Derive the overlap-stage configuration.

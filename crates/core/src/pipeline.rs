@@ -7,6 +7,12 @@
 //! IDs). Every stage is timed and its communication counters snapshotted,
 //! producing one [`RankReport`] per rank — the raw material for Table 2
 //! and, through `crate::model`, Figures 3–13.
+//!
+//! Execution is hybrid-parallel: ranks are the distributed dimension, and
+//! within each rank the alignment stage fans out over
+//! [`PipelineConfig::align_threads`] worker threads with deterministic
+//! batching (see [`crate::alignment_stage`]) — results are bit-identical
+//! at every thread count.
 
 use crate::alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
 use crate::config::PipelineConfig;

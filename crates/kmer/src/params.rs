@@ -1,4 +1,4 @@
-//! BELLA's statistical parameter selection (paper §2–§3, and [14]).
+//! BELLA's statistical parameter selection (paper §2–§3, and \[14\]).
 //!
 //! diBELLA inherits BELLA's data-driven choices:
 //!

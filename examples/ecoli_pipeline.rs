@@ -5,6 +5,8 @@
 //! ```sh
 //! cargo run --release --example ecoli_pipeline           # default 1% scale
 //! DIBELLA_SCALE=0.05 cargo run --release --example ecoli_pipeline
+//! # hybrid-parallel: 8 ranks × 4 alignment threads per rank
+//! DIBELLA_ALIGN_THREADS=4 cargo run --release --example ecoli_pipeline
 //! ```
 
 use dibella::datagen::ecoli_30x_like;
@@ -19,8 +21,13 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
+    let align_threads: usize = std::env::var("DIBELLA_ALIGN_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
     println!("== E. coli 30x-like workload at scale {scale} ==");
+    println!("{ranks} ranks x {align_threads} alignment thread(s) per rank");
     let ds = ecoli_30x_like(scale, 42);
     println!(
         "genome {:.0} kb | {} reads | {:.1} Mb | depth {:.1}x | mean read {:.0} bp",
@@ -40,6 +47,7 @@ fn main() {
             error_rate: 0.15,
             seed_policy: policy,
             max_seeds_per_pair: 8,
+            align_threads,
             ..Default::default()
         };
         let t = std::time::Instant::now();

@@ -39,9 +39,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "dibella — distributed long-read overlap and alignment (ICPP 2019 reproduction)
 
 USAGE:
-  dibella overlap <reads.fastq> [-k K] [-p RANKS] [-e ERR] [-d DEPTH]
-                  [--policy one|1000|k] [-x XDROP] [--min-score S]
-                  [-o out.paf] [--gfa out.gfa]
+  dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--align-threads N]
+                  [--policy one|1000|k] [-e ERR] [-d DEPTH] [-x XDROP]
+                  [--min-score S] [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
                   [-e ERR] [-s SEED]
   dibella stats <reads.fastq> [-k K] [-e ERR] [-d DEPTH]";
@@ -109,6 +109,8 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
     let depth: f64 = flags.get("d", 30.0)?;
     let xdrop: i32 = flags.get("x", 25)?;
     let min_score: i32 = flags.get("min-score", 0)?;
+    // Intra-rank alignment threads (hybrid parallelism; 0 = all cores).
+    let align_threads: usize = flags.get("align-threads", flags.get("t", 1)?)?;
     let policy = match flags.named.get("policy").map(String::as_str) {
         None | Some("one") => SeedPolicy::Single,
         Some("1000") => SeedPolicy::MinDistance(1000),
@@ -123,13 +125,15 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         seed_policy: policy,
         xdrop,
         min_align_score: min_score,
+        align_threads,
         ..Default::default()
     };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s)",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
-        cfg.multiplicity_threshold()
+        cfg.multiplicity_threshold(),
+        cfg.effective_align_threads()
     );
     let t = std::time::Instant::now();
     let result = run_pipeline(&reads, ranks, &cfg);

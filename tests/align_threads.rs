@@ -1,0 +1,67 @@
+//! Determinism of the hybrid-parallel alignment stage on a multi-rank
+//! world: for any `align_threads` setting, every rank's alignment records
+//! **and** work counters must be bit-identical to the sequential
+//! (`align_threads = 1`) run. The executor guarantees this by sharding
+//! tasks into fixed-size batches and merging results in batch order — this
+//! test is the end-to-end check of that guarantee across the full SPMD
+//! pipeline (4 ranks × {1, 2, 4} threads).
+
+use dibella::prelude::*;
+
+/// Overlapping reads off one deterministic pseudo-random genome.
+fn dataset(n: usize, read_len: usize, stride: usize, seed: u64) -> ReadSet {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..(n * stride + read_len))
+        .map(|_| b"ACGT"[(rnd() % 4) as usize])
+        .collect();
+    (0..n as u32)
+        .map(|i| {
+            let s = i as usize * stride;
+            Read::new(i, format!("r{i}"), genome[s..s + read_len].to_vec())
+        })
+        .collect()
+}
+
+fn cfg(align_threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        k: 11,
+        seed_policy: SeedPolicy::MinDistance(11),
+        max_seeds_per_pair: 32,
+        max_multiplicity: Some(24),
+        align_threads,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_alignment_matches_sequential_on_multi_rank_world() {
+    let reads = dataset(24, 200, 60, 0xA11E);
+    let ranks = 4;
+
+    let baseline = run_pipeline(&reads, ranks, &cfg(1));
+    assert!(
+        !baseline.alignments.is_empty(),
+        "workload must exercise the alignment stage"
+    );
+
+    for threads in [2usize, 4] {
+        let run = run_pipeline(&reads, ranks, &cfg(threads));
+        assert_eq!(
+            run.alignments, baseline.alignments,
+            "alignment records diverge at align_threads = {threads}"
+        );
+        for (par, seq) in run.reports.iter().zip(&baseline.reports) {
+            assert_eq!(
+                par.align, seq.align,
+                "rank {} align counters diverge at align_threads = {threads}",
+                par.rank
+            );
+        }
+    }
+}

@@ -219,7 +219,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Length bounds for [`vec`]; converts from `usize` and ranges.
+        /// Length bounds for [`vec()`]; converts from `usize` and ranges.
         #[derive(Clone, Debug)]
         pub struct SizeRange {
             lo: usize,

@@ -1,12 +1,271 @@
 //! Offline stand-in for `rayon`.
 //!
 //! The build environment for this repository has no registry access, so this
-//! vendored crate maps the parallel-iterator surface the workspace uses onto
-//! **sequential** std equivalents: `par_iter` → `iter`, `flat_map_iter` →
-//! `flat_map`, `par_sort_unstable*` → `sort_unstable*`. Semantics (and, for
-//! the deterministic baseline, results) are identical to real rayon; only
-//! wall-clock parallel speedup is lost. Swapping the real crate back in
-//! requires no source changes.
+//! vendored crate implements the slice of rayon's API the workspace uses.
+//! Since PR 2 it is **no longer fully sequential**: it ships a real thread
+//! pool ([`ThreadPool`] / [`ThreadPoolBuilder`]) and a genuinely parallel
+//! indexed chunk map ([`ParallelSlice::par_chunks`] → `.map(f).collect()`),
+//! built on `std::thread::scope` with an atomic work-claiming cursor —
+//! dynamic scheduling in the spirit of rayon's work stealing, minus the
+//! per-thread deques. Chunk results are reassembled in chunk-index order,
+//! so a `collect()` is **bit-identical** to the sequential execution no
+//! matter how many threads run it (the same order-preservation guarantee
+//! real rayon gives indexed parallel iterators).
+//!
+//! The older adapter traits (`par_iter`, `flat_map_iter`, the
+//! `par_sort_unstable*` family) remain sequential std equivalents:
+//! semantics and results are identical to real rayon, only their parallel
+//! speedup is lost. Swapping the registry crate back in requires no source
+//! changes anywhere in the workspace — every name here resolves against
+//! real rayon's `prelude`/root exports.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Pool width "installed" on this thread (see [`ThreadPool::install`]).
+    static AMBIENT_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations on the current thread will use:
+/// the width of the innermost [`ThreadPool::install`] in scope, else the
+/// hardware parallelism (mirrors `rayon::current_num_threads`).
+pub fn current_num_threads() -> usize {
+    AMBIENT_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Error building a [`ThreadPool`] (mirrors rayon's opaque error type;
+/// construction here cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count = hardware threads).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads; `0` means "use the hardware
+    /// parallelism", as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible here, but kept `Result` for API parity.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A bounded-width thread pool.
+///
+/// Unlike real rayon this pool keeps no resident worker threads: workers
+/// are spawned scoped per parallel operation (`std::thread::scope`), which
+/// keeps the vendored crate dependency-free and leak-proof while preserving
+/// rayon's observable behavior — `install` bounds the parallelism of every
+/// parallel operation run inside it.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+
+    /// Run `op` with this pool's width governing any parallel operation it
+    /// performs (mirrors `rayon::ThreadPool::install`). Nested installs
+    /// restore the outer width on exit, including on panic. Parallel
+    /// operations nested *inside* a running parallel operation execute
+    /// sequentially on their worker, so the total thread count never
+    /// exceeds the installed width.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        struct Restore<'a>(&'a Cell<Option<usize>>, Option<usize>);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        AMBIENT_WIDTH.with(|w| {
+            let _guard = Restore(w, w.replace(Some(self.width)));
+            op()
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel chunked map (the genuinely parallel part)
+// ---------------------------------------------------------------------------
+
+/// `par_chunks` on slices (the subset of rayon's `ParallelSlice` used by
+/// this workspace).
+pub trait ParallelSlice<T: Sync> {
+    /// Split the slice into contiguous chunks of at most `chunk_size`
+    /// elements, to be mapped in parallel. Chunk boundaries are a pure
+    /// function of the slice length — never of the thread count — which is
+    /// what makes downstream `collect()`s deterministic.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be non-zero");
+        ParChunks { slice: self, chunk_size }
+    }
+}
+
+/// Parallel iterator over contiguous slice chunks (see
+/// [`ParallelSlice::par_chunks`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Number of chunks this iterator will produce.
+    pub fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    /// `true` when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slice.is_empty()
+    }
+
+    /// Map every chunk through `f` (executed in parallel at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        ParChunksMap { chunks: self, f }
+    }
+}
+
+/// The mapped form of [`ParChunks`]; terminal `collect` runs the map on
+/// the ambient pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ParChunksMap<'a, T, F> {
+    chunks: ParChunks<'a, T>,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Execute the chunk map and collect results **in chunk order**.
+    ///
+    /// Scheduling is dynamic (workers claim the next unprocessed chunk
+    /// index from a shared atomic cursor, so a slow chunk never idles the
+    /// other workers), but the output order is the chunk order — identical
+    /// to a sequential `slice.chunks(n).map(f).collect()` bit for bit.
+    /// Worker panics are propagated to the caller after all workers stop.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParChunksMap { chunks: ParChunks { slice, chunk_size }, f } = self;
+        let n_chunks = slice.len().div_ceil(chunk_size);
+        let width = current_num_threads().min(n_chunks);
+        if width <= 1 {
+            return slice.chunks(chunk_size).map(f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let cursor = &cursor;
+        // Each worker (shared-ref captures only, so the closure is Copy)
+        // drains the chunk queue until empty. Workers pin their ambient
+        // width to 1 so a nested parallel operation inside `f` runs
+        // sequentially instead of spawning its own threads — total thread
+        // count stays bounded by the installed width (real rayon likewise
+        // runs nested work on the existing pool rather than growing it).
+        let work = move || {
+            let sequential = ThreadPool { width: 1 };
+            sequential.install(|| {
+                let mut produced = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_chunks {
+                        break;
+                    }
+                    let lo = i * chunk_size;
+                    let hi = (lo + chunk_size).min(slice.len());
+                    produced.push((i, f(&slice[lo..hi])));
+                }
+                produced
+            })
+        };
+        // The calling thread participates (like real rayon's install):
+        // spawn width − 1 workers, run the same claim loop here, join.
+        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..width).map(|_| s.spawn(work)).collect();
+            let mut all = vec![work()];
+            for h in handles {
+                match h.join() {
+                    Ok(v) => all.push(v),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all
+        });
+
+        // Reassemble in chunk-index order.
+        let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            debug_assert!(slots[i].is_none(), "chunk {i} computed twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("chunk claimed but never computed"))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequential adapter traits (unchanged semantics from the original stub)
+// ---------------------------------------------------------------------------
 
 /// Adapter methods on iterators standing in for rayon's `ParallelIterator`.
 pub trait ParallelIterator: Iterator + Sized {
@@ -95,13 +354,15 @@ impl<T> ParallelSliceMut<T> for [T] {
 /// The usual glob import, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
     };
 }
 
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::ThreadPoolBuilder;
 
     #[test]
     fn par_surface_matches_sequential() {
@@ -114,5 +375,94 @@ mod tests {
         let mut t = v;
         t.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
         assert_eq!(t, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn par_chunks_is_order_preserving_at_any_width() {
+        let data: Vec<u32> = (0..1000).collect();
+        let expected: Vec<u64> = data
+            .chunks(7)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<u64> = pool.install(|| {
+                data.par_chunks(7)
+                    .map(|c| c.iter().map(|&x| x as u64).sum())
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let data: Vec<u32> = (0..64).collect();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<()> = pool.install(|| {
+            data.par_chunks(1)
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    // Yield the core so other workers get to claim chunks
+                    // even on a single-CPU machine.
+                    std::thread::sleep(std::time::Duration::from_micros(500));
+                })
+                .collect()
+        });
+        // 64 chunks × 0.5 ms over a width-4 pool: more than one distinct
+        // thread must have executed chunks (the caller participates, so a
+        // broken single-worker pool would show exactly one ID here).
+        assert!(
+            seen.lock().unwrap().len() >= 2,
+            "only {} distinct worker thread(s)",
+            seen.lock().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn empty_and_single_chunk_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<u64> = pool.install(|| empty.par_chunks(8).map(|_| 0u64).collect());
+        assert!(got.is_empty());
+        let one = [5u32];
+        let got: Vec<u64> =
+            pool.install(|| one.par_chunks(8).map(|c| c[0] as u64).collect());
+        assert_eq!(got, vec![5]);
+    }
+
+    #[test]
+    fn install_sets_and_restores_ambient_width() {
+        let outside = crate::current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+        assert_eq!(crate::current_num_threads(), outside);
+    }
+
+    #[test]
+    fn nested_parallel_ops_run_sequentially_in_workers() {
+        let data: Vec<u32> = (0..16).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let widths: Vec<usize> = pool.install(|| {
+            data.par_chunks(1).map(|_| crate::current_num_threads()).collect()
+        });
+        // Inside a running parallel operation the ambient width is pinned
+        // to 1, so a nested par_chunks cannot over-spawn.
+        assert!(widths.iter().all(|&w| w == 1), "widths = {widths:?}");
+    }
+
+    #[test]
+    fn zero_threads_means_hardware_default() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
     }
 }

@@ -1,7 +1,7 @@
 //! k-mer machinery microbenchmarks: extraction throughput, owner hashing,
 //! Bloom filter insert/query, HyperLogLog insert, and hash-table
 //! occurrence recording — the per-op costs behind the
-//! `dibella_netmodel::costs` calibration constants.
+//! `dibella_netmodel::op_costs` calibration constants.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dibella_kcount::{KcountConfig, KmerHashTable, Occurrence};

@@ -3,7 +3,7 @@
 //! node, E. coli 30× one-seed, 16 ranks per node.
 use dibella_bench::*;
 use dibella_core::{project, Stage};
-use dibella_netmodel::{cache_penalty, costs, strong_efficiency, NodeMapping, Series, AWS};
+use dibella_netmodel::{cache_penalty, op_costs, strong_efficiency, NodeMapping, Series, AWS};
 use dibella_overlap::SeedPolicy;
 
 /// (packing, local-processing, exchanging, overall) seconds at `nodes`.
@@ -19,8 +19,8 @@ fn components(cache: &mut ReportCache, nodes: usize) -> (f64, f64, f64, f64) {
             r.bloom_bytes as f64 + r.table_keys as f64 * 32.0,
             AWS.cache_per_core,
         );
-        let pack = r.bloom.kmers_parsed as f64 * costs::NS_PER_KMER_PACK * 1e-9 / AWS.core_perf * pen;
-        let proc = r.bloom.kmers_received as f64 * costs::NS_PER_KMER_BLOOM * 1e-9 / AWS.core_perf * pen;
+        let pack = r.bloom.kmers_parsed as f64 * op_costs::NS_PER_KMER_PACK * 1e-9 / AWS.core_perf * pen;
+        let proc = r.bloom.kmers_received as f64 * op_costs::NS_PER_KMER_BLOOM * 1e-9 / AWS.core_perf * pen;
         packing = packing.max(pack);
         processing = processing.max(proc);
     }

@@ -12,10 +12,15 @@
 //! default 0.006). `scale = 1.0` reproduces paper-sized inputs.
 //! `DIBELLA_ALIGN_THREADS` sets the intra-rank alignment thread count
 //! (default 1; `0` = all hardware threads) — results are bit-identical
-//! at every setting, only wall time changes.
+//! at every setting, only wall time changes. `DIBELLA_TRANSPORT`
+//! (`shared` | `sim:<platform>[:<ranks_per_node>]`) selects the
+//! communication backend: under `sim:*` the pipeline executes on a
+//! modeled interconnect — counters and alignments are unchanged, but the
+//! recorded `exchange_wall` is the virtual platform's.
 
 #![warn(missing_docs)]
 
+use dibella_comm::TransportKind;
 use dibella_core::{run_pipeline, PipelineConfig, RankReport};
 use dibella_datagen::{ecoli_100x_like, ecoli_30x_like, ecoli_30x_sample_like, SyntheticDataset};
 use dibella_netmodel::{NodeMapping, Platform, Series};
@@ -72,6 +77,19 @@ pub fn env_align_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The `DIBELLA_TRANSPORT` environment knob: which communication backend
+/// pipeline runs execute on (see
+/// [`dibella_core::PipelineConfig::transport`]). Invalid values abort
+/// loudly rather than silently benchmarking the wrong backend.
+pub fn env_transport() -> TransportKind {
+    match std::env::var("DIBELLA_TRANSPORT") {
+        Err(_) => TransportKind::default(),
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e| panic!("DIBELLA_TRANSPORT: {e}")),
+    }
+}
+
 /// Construct a workload's synthetic dataset at the bench scale.
 pub fn dataset(w: Workload) -> SyntheticDataset {
     match w {
@@ -94,6 +112,7 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         seed_policy: policy,
         max_seeds_per_pair: 4,
         align_threads: env_align_threads(),
+        transport: env_transport(),
         ..Default::default()
     }
 }
@@ -187,6 +206,13 @@ pub fn print_figure(title: &str, node_counts: &[usize], series: &[Series]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate process-global environment variables
+    /// (`DIBELLA_SCALE`, `DIBELLA_TRANSPORT`): the test harness runs on
+    /// parallel threads, and a sibling test reading the env mid-mutation
+    /// would nondeterministically pick up the wrong knob.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn workload_shapes() {
@@ -204,9 +230,29 @@ mod tests {
     }
 
     #[test]
+    fn transport_env_knob() {
+        use dibella_comm::SimNetConfig;
+        use dibella_netmodel::PlatformId;
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DIBELLA_TRANSPORT", "sim:edison:4");
+        let kind = env_transport();
+        assert_eq!(
+            kind,
+            TransportKind::SimNet(SimNetConfig {
+                platform: PlatformId::EdisonXC30,
+                ranks_per_node: 4
+            })
+        );
+        assert_eq!(config_for(Workload::E30, SeedPolicy::Single).transport, kind);
+        std::env::remove_var("DIBELLA_TRANSPORT");
+        assert_eq!(env_transport(), TransportKind::SharedMem);
+    }
+
+    #[test]
     fn cache_memoizes() {
         // Tiny world over the sample workload: the second call must not
         // re-run (identity of the Arc proves it).
+        let _env = ENV_LOCK.lock().unwrap();
         std::env::set_var("DIBELLA_SCALE", "0.002");
         let mut cache = ReportCache::new();
         let a = cache.reports(Workload::E30Sample, SeedPolicy::Single, 2);

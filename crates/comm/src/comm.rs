@@ -6,29 +6,49 @@
 //! must be called by **all** ranks of the world in the same order — the
 //! usual MPI contract; violations panic via the hub's slot checks.
 
-use crate::hub::Hub;
 use crate::stats::CommStats;
+use crate::transport::{Collective, Transport};
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Communicator handle owned by one rank's thread.
+///
+/// All collectives are written once against the [`Transport`] trait; which
+/// backend executes them (real shared memory, or the netmodel-driven
+/// simulated network) is decided by the launcher — see
+/// [`crate::CommWorld::run_with`].
 pub struct Comm {
     rank: usize,
     size: usize,
-    hub: Arc<Hub>,
+    transport: Arc<dyn Transport>,
     stats: RefCell<CommStats>,
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, hub: Arc<Hub>) -> Self {
-        let size = hub.size();
+    pub(crate) fn new(rank: usize, transport: Arc<dyn Transport>) -> Self {
+        let size = transport.size();
         Self {
             rank,
             size,
-            hub,
+            transport,
             stats: RefCell::new(CommStats::new(size)),
         }
+    }
+
+    /// Take the buffer `src` deposited for this rank and restore its type.
+    ///
+    /// # Panics
+    /// Panics if the deposit is missing or of a different type — both
+    /// indicate mismatched collective calls across ranks.
+    fn recv<T: 'static>(&self, src: usize) -> T {
+        *self
+            .transport
+            .take(src, self.rank)
+            .downcast::<T>()
+            .unwrap_or_else(|_| {
+                panic!("slot ({src},{}) holds unexpected type", self.rank)
+            })
     }
 
     /// This rank's index in `0..size()`.
@@ -56,7 +76,7 @@ impl Comm {
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         self.stats.borrow_mut().barriers += 1;
-        self.hub.wait();
+        self.transport.wait();
     }
 
     /// Irregular all-to-all: element `d` of `send` goes to rank `d`;
@@ -68,18 +88,25 @@ impl Comm {
     pub fn alltoallv<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(send.len(), self.size, "alltoallv needs one buffer per rank");
         let t0 = Instant::now();
-        self.stats.borrow_mut().record_exchange(
-            send.iter().map(|b| b.len() * std::mem::size_of::<T>()),
-        );
-        for (dst, buf) in send.into_iter().enumerate() {
-            self.hub.put(self.rank, dst, Box::new(buf));
-        }
-        self.hub.wait();
-        let recv: Vec<Vec<T>> = (0..self.size)
-            .map(|src| self.hub.take::<Vec<T>>(src, self.rank))
+        let sizes: Vec<u64> = send
+            .iter()
+            .map(|b| (b.len() * std::mem::size_of::<T>()) as u64)
             .collect();
-        self.hub.wait();
-        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        self.stats
+            .borrow_mut()
+            .record_exchange(sizes.iter().map(|&s| s as usize));
+        for (dst, buf) in send.into_iter().enumerate() {
+            self.transport.put(self.rank, dst, Box::new(buf));
+        }
+        self.transport.wait();
+        let recv: Vec<Vec<T>> = (0..self.size).map(|src| self.recv::<Vec<T>>(src)).collect();
+        self.transport.wait();
+        let wall = self.transport.collective_wall(
+            self.rank,
+            Collective::Alltoallv { dest_bytes: &sizes },
+            t0.elapsed(),
+        );
+        self.stats.borrow_mut().exchange_wall += wall;
         recv
     }
 
@@ -96,14 +123,15 @@ impl Comm {
         self.stats.borrow_mut().dense_collectives += 1;
         let t0 = Instant::now();
         for (dst, v) in send.into_iter().enumerate() {
-            self.hub.put(self.rank, dst, Box::new(v));
+            self.transport.put(self.rank, dst, Box::new(v));
         }
-        self.hub.wait();
-        let recv: Vec<T> = (0..self.size)
-            .map(|src| self.hub.take::<T>(src, self.rank))
-            .collect();
-        self.hub.wait();
-        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        self.transport.wait();
+        let recv: Vec<T> = (0..self.size).map(|src| self.recv::<T>(src)).collect();
+        self.transport.wait();
+        let wall = self
+            .transport
+            .collective_wall(self.rank, Collective::Dense, t0.elapsed());
+        self.stats.borrow_mut().exchange_wall += wall;
         recv
     }
 
@@ -114,14 +142,15 @@ impl Comm {
         // Deposit into our own row once per destination; cloning P times is
         // the cost MPI pays for the broadcast tree, flattened.
         for dst in 0..self.size {
-            self.hub.put(self.rank, dst, Box::new(value.clone()));
+            self.transport.put(self.rank, dst, Box::new(value.clone()));
         }
-        self.hub.wait();
-        let out: Vec<T> = (0..self.size)
-            .map(|src| self.hub.take::<T>(src, self.rank))
-            .collect();
-        self.hub.wait();
-        self.stats.borrow_mut().exchange_wall += t0.elapsed();
+        self.transport.wait();
+        let out: Vec<T> = (0..self.size).map(|src| self.recv::<T>(src)).collect();
+        self.transport.wait();
+        let wall = self
+            .transport
+            .collective_wall(self.rank, Collective::Dense, t0.elapsed());
+        self.stats.borrow_mut().exchange_wall += wall;
         out
     }
 
@@ -164,15 +193,20 @@ impl Comm {
     pub fn broadcast<T: Send + Clone + 'static>(&self, value: Option<T>, root: usize) -> T {
         assert!(root < self.size);
         self.stats.borrow_mut().dense_collectives += 1;
+        let t0 = Instant::now();
         if self.rank == root {
             let v = value.expect("root must supply the broadcast value");
             for dst in 0..self.size {
-                self.hub.put(self.rank, dst, Box::new(v.clone()));
+                self.transport.put(self.rank, dst, Box::new(v.clone()));
             }
         }
-        self.hub.wait();
-        let out: T = self.hub.take(root, self.rank);
-        self.hub.wait();
+        self.transport.wait();
+        let out: T = self.recv(root);
+        self.transport.wait();
+        let wall = self
+            .transport
+            .collective_wall(self.rank, Collective::Dense, t0.elapsed());
+        self.stats.borrow_mut().exchange_wall += wall;
         out
     }
 
@@ -180,14 +214,16 @@ impl Comm {
     pub fn gather<T: Send + 'static>(&self, value: T, root: usize) -> Option<Vec<T>> {
         assert!(root < self.size);
         self.stats.borrow_mut().dense_collectives += 1;
-        self.hub.put(self.rank, root, Box::new(value));
-        self.hub.wait();
-        let out = (self.rank == root).then(|| {
-            (0..self.size)
-                .map(|src| self.hub.take::<T>(src, self.rank))
-                .collect()
-        });
-        self.hub.wait();
+        let t0 = Instant::now();
+        self.transport.put(self.rank, root, Box::new(value));
+        self.transport.wait();
+        let out =
+            (self.rank == root).then(|| (0..self.size).map(|src| self.recv::<T>(src)).collect());
+        self.transport.wait();
+        let wall = self
+            .transport
+            .collective_wall(self.rank, Collective::Dense, t0.elapsed());
+        self.stats.borrow_mut().exchange_wall += wall;
         out
     }
 }
@@ -290,6 +326,15 @@ mod tests {
             (first.barriers, second.barriers)
         });
         assert_eq!(results[0], (1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn mismatched_collective_types_panic() {
+        let _ = CommWorld::run(1, |comm| {
+            comm.transport.put(0, 0, Box::new(42u64));
+            comm.recv::<Vec<u8>>(0)
+        });
     }
 
     #[test]

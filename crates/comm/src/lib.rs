@@ -7,10 +7,14 @@
 //! with exact per-destination traffic accounting.
 //!
 //! The paper ran on MPI over Cray Aries/Gemini and AWS Ethernet; here the
-//! transport is shared memory, but the *code path* — pack per-destination
-//! buffers, irregular exchange, unpack — and the bytes/messages recorded
-//! are identical, which is what the `dibella-netmodel` projections
-//! consume. See DESIGN.md §2 for the substitution argument.
+//! *code path* — pack per-destination buffers, irregular exchange, unpack —
+//! and the bytes/messages recorded are identical, which is what the
+//! `dibella-netmodel` projections consume. The backend executing that path
+//! is pluggable (see [`transport`]): [`SharedMem`] runs collectives through
+//! real shared memory, while [`SimNet`] additionally charges each
+//! collective the latency/bandwidth cost of a modeled platform, so a run
+//! can execute "on" a virtual Cori or AWS cluster. See DESIGN.md §2 for
+//! the substitution argument.
 //!
 //! ```
 //! use dibella_comm::CommWorld;
@@ -27,10 +31,12 @@
 mod comm;
 mod hub;
 pub mod stats;
+pub mod transport;
 pub mod wire;
 mod world;
 
 pub use comm::Comm;
 pub use stats::CommStats;
+pub use transport::{Collective, SharedMem, SimNet, SimNetConfig, Transport, TransportKind};
 pub use wire::{decode_iter, decode_vec, encode_slice, Wire};
 pub use world::CommWorld;

@@ -1,0 +1,410 @@
+//! The pluggable transport layer beneath [`crate::Comm`].
+//!
+//! The collective code path — pack per-destination buffers, irregular
+//! exchange, unpack — lives once in `comm.rs`, written against the
+//! [`Transport`] trait. Two backends implement it:
+//!
+//! * [`SharedMem`] — the real executor: the `P × P` slot matrix and cyclic
+//!   barrier of the crate-private `hub` module. Collective wall time is
+//!   whatever the host actually spent.
+//! * [`SimNet`] — a *simulated network*: it delegates every payload to an
+//!   inner [`SharedMem`] (so results are byte-identical), but reports the
+//!   wall time a `dibella_netmodel::Platform` would have charged for the
+//!   collective — `α + α_rank·P` latency per call, off-node bytes at the
+//!   node's injection bandwidth, on-node bytes at memory bandwidth, and
+//!   the paper's one-time first-`MPI_Alltoallv` setup (§6/§10). Ranks are
+//!   placed `ranks_per_node` to a virtual node, so the same run can be
+//!   executed "on" Cori Haswell or a commodity-Ethernet AWS cluster and
+//!   `CommStats::exchange_wall` reflects the modeled interconnect.
+//!
+//! Backends are chosen via [`TransportKind`], which parses from the CLI
+//! syntax `shared` / `sim:<platform>[:<ranks_per_node>]`.
+
+use crate::hub::Hub;
+use dibella_netmodel::{
+    collective_latency_s, exchange_transfer_s, first_alltoallv_setup_s, Platform, PlatformId,
+};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One completed collective, as described to a transport backend when the
+/// communicator asks what wall time to charge for it.
+#[derive(Clone, Copy, Debug)]
+pub enum Collective<'a> {
+    /// An irregular exchange; `dest_bytes[d]` is the payload this rank
+    /// sent to destination `d` in this call.
+    Alltoallv {
+        /// Per-destination payload bytes of this rank's contribution.
+        dest_bytes: &'a [u64],
+    },
+    /// A dense collective (alltoall of counts, allgather, reduction,
+    /// scan) — small fixed-size values, modeled latency-only.
+    Dense,
+}
+
+/// A communication backend: the exchange primitives the collectives in
+/// [`crate::Comm`] are written against, plus a timing policy.
+///
+/// Contract (the usual SPMD one): every rank of the world calls the same
+/// collectives in the same order, so backends may synchronize internally —
+/// [`Transport::collective_wall`] in particular is called by all ranks for
+/// the same operation and may itself use barriers.
+pub trait Transport: Send + Sync {
+    /// World size.
+    fn size(&self) -> usize;
+
+    /// Block until all ranks arrive (one barrier phase).
+    fn wait(&self);
+
+    /// Deposit a type-erased buffer for `(src → dst)`.
+    fn put(&self, src: usize, dst: usize, value: Box<dyn Any + Send>);
+
+    /// Take the deposit for `(src → dst)`.
+    ///
+    /// # Panics
+    /// Panics if the slot is empty — mismatched collective calls across
+    /// ranks (the bug MPI reports as a message-truncation error).
+    fn take(&self, src: usize, dst: usize) -> Box<dyn Any + Send>;
+
+    /// Wall time to charge `rank`'s `CommStats::exchange_wall` for one
+    /// completed collective. `elapsed` is the time the host really spent;
+    /// real backends return it, simulated ones replace it with the
+    /// modeled cost.
+    fn collective_wall(&self, rank: usize, op: Collective<'_>, elapsed: Duration) -> Duration;
+}
+
+/// The real shared-memory backend: collectives execute through the hub's
+/// slot matrix and wall time is the measured host time. This is the exact
+/// behavior the communicator had before the transport layer existed.
+pub struct SharedMem {
+    hub: Hub,
+}
+
+impl SharedMem {
+    /// A shared-memory world of `p` ranks.
+    pub fn new(p: usize) -> Self {
+        Self { hub: Hub::new(p) }
+    }
+}
+
+impl Transport for SharedMem {
+    fn size(&self) -> usize {
+        self.hub.size()
+    }
+
+    fn wait(&self) {
+        self.hub.wait();
+    }
+
+    fn put(&self, src: usize, dst: usize, value: Box<dyn Any + Send>) {
+        self.hub.put(src, dst, value);
+    }
+
+    fn take(&self, src: usize, dst: usize) -> Box<dyn Any + Send> {
+        self.hub.take(src, dst)
+    }
+
+    fn collective_wall(&self, _rank: usize, _op: Collective<'_>, elapsed: Duration) -> Duration {
+        elapsed
+    }
+}
+
+/// Configuration of the simulated-network backend: which platform's
+/// interconnect to model and how many ranks share a virtual node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimNetConfig {
+    /// The modeled machine (Table 1 platform).
+    pub platform: PlatformId,
+    /// Ranks per virtual node (rank `r` lives on node `r / ranks_per_node`,
+    /// mirroring `dibella_netmodel::NodeMapping`).
+    pub ranks_per_node: usize,
+}
+
+/// The netmodel-driven simulated-network backend. Payloads move through an
+/// inner [`SharedMem`] — results are byte-identical to the real backend —
+/// but every collective's reported wall time is the modeled cost on the
+/// configured platform, so `CommStats::exchange_wall` behaves as if the
+/// run executed on that machine's interconnect.
+pub struct SimNet {
+    inner: SharedMem,
+    platform: &'static Platform,
+    ranks_per_node: usize,
+    /// Per-rank flag: has this rank charged the job's first-`Alltoallv`
+    /// setup yet? (Collectives are globally ordered, so every rank's
+    /// first irregular exchange is the same call.)
+    first_done: Vec<AtomicBool>,
+    /// Per-rank `dest_bytes` rows of the in-flight alltoallv, published so
+    /// each rank can aggregate its whole node's traffic — the NIC is a
+    /// per-node resource in the model.
+    rows: Vec<Mutex<Vec<u64>>>,
+}
+
+impl SimNet {
+    /// A simulated world of `p` ranks on `cfg.platform`.
+    ///
+    /// # Panics
+    /// Panics if `cfg.ranks_per_node` is zero.
+    pub fn new(p: usize, cfg: SimNetConfig) -> Self {
+        assert!(cfg.ranks_per_node > 0, "ranks_per_node must be positive");
+        Self {
+            inner: SharedMem::new(p),
+            platform: Platform::get(cfg.platform),
+            ranks_per_node: cfg.ranks_per_node,
+            first_done: (0..p).map(|_| AtomicBool::new(false)).collect(),
+            rows: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+}
+
+impl Transport for SimNet {
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn wait(&self) {
+        self.inner.wait();
+    }
+
+    fn put(&self, src: usize, dst: usize, value: Box<dyn Any + Send>) {
+        self.inner.put(src, dst, value);
+    }
+
+    fn take(&self, src: usize, dst: usize) -> Box<dyn Any + Send> {
+        self.inner.take(src, dst)
+    }
+
+    fn collective_wall(&self, rank: usize, op: Collective<'_>, _elapsed: Duration) -> Duration {
+        let p = self.inner.size();
+        let latency = collective_latency_s(self.platform, p);
+        match op {
+            Collective::Dense => Duration::from_secs_f64(latency),
+            Collective::Alltoallv { dest_bytes } => {
+                // Publish this rank's per-destination volume, then (after
+                // the barrier) aggregate the whole node's traffic exactly
+                // as `dibella_netmodel::stage_cost` does.
+                *self.rows[rank].lock() = dest_bytes.to_vec();
+                self.inner.wait();
+                let home = self.node_of(rank);
+                let (mut on, mut off) = (0u64, 0u64);
+                for src in (0..p).filter(|&r| self.node_of(r) == home) {
+                    for (dst, &b) in self.rows[src].lock().iter().enumerate() {
+                        if self.node_of(dst) == home {
+                            on += b;
+                        } else {
+                            off += b;
+                        }
+                    }
+                }
+                self.inner.wait(); // rows may be reused after this point
+                let base = latency + exchange_transfer_s(self.platform, on, off);
+                let setup = if !self.first_done[rank].swap(true, Ordering::Relaxed) {
+                    first_alltoallv_setup_s(self.platform, p, base)
+                } else {
+                    0.0
+                };
+                Duration::from_secs_f64(base + setup)
+            }
+        }
+    }
+}
+
+/// Which transport backend a world should run on — the cheap, cloneable
+/// configuration that [`crate::CommWorld::run_with`] and
+/// `dibella_core::PipelineConfig::transport` carry around.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Real shared-memory execution (the default).
+    #[default]
+    SharedMem,
+    /// Simulated network on a modeled platform.
+    SimNet(SimNetConfig),
+}
+
+impl TransportKind {
+    /// Instantiate the backend for a world of `p` ranks.
+    pub fn build(&self, p: usize) -> Arc<dyn Transport> {
+        match self {
+            TransportKind::SharedMem => Arc::new(SharedMem::new(p)),
+            TransportKind::SimNet(cfg) => Arc::new(SimNet::new(p, *cfg)),
+        }
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    /// Parse the CLI syntax: `shared`, or `sim:<platform>[:<ranks_per_node>]`
+    /// where `<platform>` is `cori`, `edison`, `titan` or `aws` and
+    /// `<ranks_per_node>` defaults to the platform's cores per node.
+    fn from_str(s: &str) -> Result<Self, String> {
+        if s == "shared" {
+            return Ok(TransportKind::SharedMem);
+        }
+        let Some(rest) = s.strip_prefix("sim:") else {
+            return Err(format!(
+                "unknown transport {s:?} (expected `shared` or `sim:<platform>[:<ranks_per_node>]`)"
+            ));
+        };
+        let mut parts = rest.splitn(2, ':');
+        let name = parts.next().unwrap_or_default();
+        let id = PlatformId::parse(name)
+            .ok_or_else(|| format!("unknown platform {name:?} (cori|edison|titan|aws)"))?;
+        let ranks_per_node = match parts.next() {
+            None => Platform::get(id).cores_per_node,
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("invalid ranks-per-node {v:?} (positive integer)"))?,
+        };
+        Ok(TransportKind::SimNet(SimNetConfig { platform: id, ranks_per_node }))
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::SharedMem => write!(f, "shared"),
+            TransportKind::SimNet(cfg) => {
+                write!(f, "sim:{}:{}", cfg.platform.cli_name(), cfg.ranks_per_node)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::CommWorld;
+    use dibella_netmodel::CORI;
+
+    fn sim(platform: PlatformId, ranks_per_node: usize) -> TransportKind {
+        TransportKind::SimNet(SimNetConfig { platform, ranks_per_node })
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        assert_eq!("shared".parse::<TransportKind>(), Ok(TransportKind::SharedMem));
+        assert_eq!(
+            "sim:aws:4".parse::<TransportKind>(),
+            Ok(sim(PlatformId::Aws, 4))
+        );
+        // Ranks-per-node defaults to the platform's cores per node.
+        assert_eq!(
+            "sim:cori".parse::<TransportKind>(),
+            Ok(sim(PlatformId::CoriXC40, CORI.cores_per_node))
+        );
+        for s in ["", "tcp", "sim:", "sim:summit", "sim:aws:0", "sim:aws:x"] {
+            assert!(s.parse::<TransportKind>().is_err(), "{s:?} should not parse");
+        }
+        // Display renders back to parseable syntax.
+        for k in [TransportKind::SharedMem, sim(PlatformId::TitanXK7, 8)] {
+            assert_eq!(k.to_string().parse::<TransportKind>(), Ok(k));
+        }
+    }
+
+    #[test]
+    fn simnet_payloads_identical_to_sharedmem() {
+        let body = |comm: &crate::Comm| {
+            let send: Vec<Vec<u32>> = (0..comm.size())
+                .map(|d| (0..(comm.rank() + d) as u32).collect())
+                .collect();
+            comm.alltoallv(send)
+        };
+        let real = CommWorld::run(4, body);
+        let simulated = CommWorld::run_with(4, &sim(PlatformId::Aws, 2), body);
+        assert_eq!(real, simulated);
+    }
+
+    #[test]
+    fn simnet_charges_modeled_alltoallv_time() {
+        // 2 ranks on one virtual Cori node: all traffic is on-node, so the
+        // second call (first-call setup already paid) must cost exactly
+        // latency + bytes / memory-bandwidth.
+        let stats = CommWorld::run_with(2, &sim(PlatformId::CoriXC40, 2), |comm| {
+            let _ = comm.alltoallv::<u8>(vec![vec![0u8; 500]; 2]);
+            comm.take_stats(); // discard the first call (setup-charged)
+            let _ = comm.alltoallv::<u8>(vec![vec![0u8; 500]; 2]);
+            comm.take_stats()
+        });
+        let expect = collective_latency_s(&CORI, 2) + exchange_transfer_s(&CORI, 2000, 0);
+        for s in &stats {
+            assert!(
+                (s.exchange_wall.as_secs_f64() - expect).abs() < 1e-9,
+                "wall {:?} vs modeled {expect}",
+                s.exchange_wall
+            );
+        }
+    }
+
+    #[test]
+    fn first_alltoallv_setup_charged_once() {
+        let walls = CommWorld::run_with(2, &sim(PlatformId::Aws, 1), |comm| {
+            let mut walls = Vec::new();
+            for _ in 0..3 {
+                let _ = comm.alltoallv::<u8>(vec![vec![7u8; 100]; 2]);
+                walls.push(comm.take_stats().exchange_wall);
+            }
+            walls
+        });
+        for w in &walls {
+            assert!(w[0] > w[1], "first call should carry the setup cost: {w:?}");
+            assert_eq!(w[1], w[2], "steady-state calls must cost the same");
+        }
+    }
+
+    #[test]
+    fn off_node_traffic_costs_more_than_on_node() {
+        let run = |ranks_per_node: usize| {
+            CommWorld::run_with(4, &sim(PlatformId::CoriXC40, ranks_per_node), |comm| {
+                let _ = comm.alltoallv::<u8>(vec![vec![1u8; 100_000]; 4]);
+                comm.take_stats().exchange_wall
+            })
+        };
+        let one_node = run(4); // everything on one virtual node
+        let four_nodes = run(1); // everything off-node
+        for (on, off) in one_node.iter().zip(&four_nodes) {
+            assert!(off > on, "off-node {off:?} should exceed on-node {on:?}");
+        }
+    }
+
+    #[test]
+    fn dense_collectives_charge_latency_only() {
+        let stats = CommWorld::run_with(3, &sim(PlatformId::EdisonXC30, 3), |comm| {
+            let _ = comm.allgather(comm.rank() as u64);
+            comm.take_stats()
+        });
+        let expect = collective_latency_s(Platform::get(PlatformId::EdisonXC30), 3);
+        for s in &stats {
+            assert!((s.exchange_wall.as_secs_f64() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ethernet_slower_than_aries_same_traffic() {
+        let run = |kind: &TransportKind| {
+            CommWorld::run_with(4, kind, |comm| {
+                let _ = comm.alltoallv::<u8>(vec![vec![3u8; 10_000]; 4]);
+                comm.take_stats().exchange_wall
+            })
+        };
+        let aries = run(&sim(PlatformId::CoriXC40, 2));
+        let ethernet = run(&sim(PlatformId::Aws, 2));
+        for (a, e) in aries.iter().zip(&ethernet) {
+            assert!(e > a, "AWS {e:?} should exceed Cori {a:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks_per_node must be positive")]
+    fn zero_ranks_per_node_rejected() {
+        let _ = SimNet::new(2, SimNetConfig { platform: PlatformId::Aws, ranks_per_node: 0 });
+    }
+}

@@ -116,8 +116,18 @@ pub fn decode_vec<T: Wire>(buf: &[u8]) -> Vec<T> {
 }
 
 /// Iterate over decoded records without materializing a vector.
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of `T::SIZE`, exactly as
+/// [`decode_vec`] does.
 pub fn decode_iter<'a, T: Wire + 'a>(buf: &'a [u8]) -> impl Iterator<Item = T> + 'a {
-    assert_eq!(buf.len() % T::SIZE, 0);
+    assert_eq!(
+        buf.len() % T::SIZE,
+        0,
+        "buffer length {} not a multiple of record size {}",
+        buf.len(),
+        T::SIZE
+    );
     buf.chunks_exact(T::SIZE).map(T::read)
 }
 

@@ -1,7 +1,7 @@
 //! World launcher: run an SPMD closure on `P` rank threads.
 
 use crate::comm::Comm;
-use crate::hub::Hub;
+use crate::transport::{Transport, TransportKind};
 use std::sync::Arc;
 
 /// An SPMD execution context, analogous to `MPI_COMM_WORLD`.
@@ -10,11 +10,14 @@ use std::sync::Arc;
 /// [`Comm`] handle and collects the per-rank return values in rank order.
 /// Linux threads are cheap enough that worlds of 1024 virtual ranks run
 /// fine on a laptop-class host; collectives serialize ranks only at
-/// barrier points.
+/// barrier points. [`CommWorld::run_with`] does the same on an explicit
+/// transport backend — real shared memory, or the netmodel-driven
+/// simulated network (see [`crate::transport`]).
 pub struct CommWorld;
 
 impl CommWorld {
-    /// Run `f` on `p` ranks and return each rank's result, indexed by rank.
+    /// Run `f` on `p` ranks over the real shared-memory transport and
+    /// return each rank's result, indexed by rank.
     ///
     /// # Panics
     /// Panics if `p == 0`, or propagates the first rank panic (which, as
@@ -26,31 +29,24 @@ impl CommWorld {
         F: Fn(&Comm) -> T + Sync,
         T: Send,
     {
+        Self::run_with(p, &TransportKind::SharedMem, f)
+    }
+
+    /// Like [`Self::run`] but on an explicit [`TransportKind`]: the same
+    /// SPMD body can execute over real shared memory or "on" a modeled
+    /// platform's network (`TransportKind::SimNet`), where collective
+    /// payloads are byte-identical and only the reported
+    /// `CommStats::exchange_wall` changes.
+    ///
+    /// # Panics
+    /// As [`Self::run`].
+    pub fn run_with<F, T>(p: usize, transport: &TransportKind, f: F) -> Vec<T>
+    where
+        F: Fn(&Comm) -> T + Sync,
+        T: Send,
+    {
         assert!(p > 0, "world size must be positive");
-        let hub = Arc::new(Hub::new(p));
-        let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..p)
-                .map(|rank| {
-                    let hub = Arc::clone(&hub);
-                    let f = &f;
-                    s.spawn(move || {
-                        let comm = Comm::new(rank, hub);
-                        f(&comm)
-                    })
-                })
-                .collect();
-            for (slot, h) in results.iter_mut().zip(handles) {
-                match h.join() {
-                    Ok(v) => *slot = Some(v),
-                    // Re-raise the rank's own panic payload so callers see
-                    // the original failure (the analogue of MPI_Abort
-                    // carrying the faulting rank's error).
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        launch(p, None, transport.build(p), &f)
     }
 
     /// Like [`Self::run`] but with a larger stack per rank thread (the
@@ -62,37 +58,55 @@ impl CommWorld {
         T: Send,
     {
         assert!(p > 0, "world size must be positive");
-        let hub = Arc::new(Hub::new(p));
-        let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..p)
-                .map(|rank| {
-                    let hub = Arc::clone(&hub);
-                    let f = &f;
-                    std::thread::Builder::new()
-                        .name(format!("rank-{rank}"))
-                        .stack_size(stack_bytes)
-                        .spawn_scoped(s, move || {
-                            let comm = Comm::new(rank, hub);
-                            f(&comm)
-                        })
-                        .expect("failed to spawn rank thread")
-                })
-                .collect();
-            for (slot, h) in results.iter_mut().zip(handles) {
-                match h.join() {
-                    Ok(v) => *slot = Some(v),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
-        results.into_iter().map(|r| r.expect("rank produced no result")).collect()
+        launch(p, Some(stack_bytes), TransportKind::SharedMem.build(p), &f)
     }
+}
+
+/// Spawn one named thread per rank over `transport`, run `f`, and collect
+/// results in rank order, re-raising the first rank panic.
+fn launch<F, T>(p: usize, stack_bytes: Option<usize>, transport: Arc<dyn Transport>, f: &F) -> Vec<T>
+where
+    F: Fn(&Comm) -> T + Sync,
+    T: Send,
+{
+    let mut results: Vec<Option<T>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..p)
+            .map(|rank| {
+                let transport = Arc::clone(&transport);
+                let mut builder = std::thread::Builder::new().name(format!("rank-{rank}"));
+                if let Some(bytes) = stack_bytes {
+                    builder = builder.stack_size(bytes);
+                }
+                builder
+                    .spawn_scoped(s, move || {
+                        let comm = Comm::new(rank, transport);
+                        f(&comm)
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        for (slot, h) in results.iter_mut().zip(handles) {
+            match h.join() {
+                Ok(v) => *slot = Some(v),
+                // Re-raise the rank's own panic payload so callers see
+                // the original failure (the analogue of MPI_Abort
+                // carrying the faulting rank's error).
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("rank produced no result"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::SimNetConfig;
+    use dibella_netmodel::PlatformId;
 
     #[test]
     fn results_are_rank_ordered() {
@@ -118,8 +132,24 @@ mod tests {
     }
 
     #[test]
+    fn run_with_simulated_transport() {
+        let kind = TransportKind::SimNet(SimNetConfig {
+            platform: PlatformId::TitanXK7,
+            ranks_per_node: 2,
+        });
+        let out = CommWorld::run_with(4, &kind, |c| c.allreduce_sum_u64(c.rank() as u64));
+        assert_eq!(out, vec![6; 4]);
+    }
+
+    #[test]
     #[should_panic(expected = "world size must be positive")]
     fn zero_ranks_rejected() {
         let _ = CommWorld::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be positive")]
+    fn zero_ranks_rejected_with_transport() {
+        let _ = CommWorld::run_with(0, &TransportKind::SharedMem, |_| ());
     }
 }

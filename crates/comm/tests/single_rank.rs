@@ -1,0 +1,64 @@
+//! World-size edge case: a 1-rank world must exercise every collective
+//! correctly (each is its own degenerate permutation) and leave the
+//! traffic counters self-consistent — zero off-rank bytes, exact
+//! self-traffic accounting — on both transport backends.
+
+use dibella_comm::{CommStats, CommWorld, SimNetConfig, TransportKind};
+use dibella_netmodel::PlatformId;
+
+/// Run every collective on one rank and return the accumulated stats.
+fn exercise_all_collectives(kind: &TransportKind) -> CommStats {
+    let mut results = CommWorld::run_with(1, kind, |c| {
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        c.barrier();
+        // Irregular exchange: 3 × u32 = 12 bytes to self.
+        let recv = c.alltoallv(vec![vec![1u32, 2, 3]]);
+        assert_eq!(recv, vec![vec![1, 2, 3]]);
+        // Dense collectives, one of each flavor.
+        assert_eq!(c.alltoall(vec![9u8]), vec![9]);
+        assert_eq!(c.allgather(5u64), vec![5]);
+        assert_eq!(c.allreduce_sum_u64(7), 7);
+        assert_eq!(c.allreduce_max_u64(3), 3);
+        assert!((c.allreduce_sum_f64(0.25) - 0.25).abs() < 1e-15);
+        assert_eq!(c.exscan_sum_u64(4), 0, "rank 0 exscan is the empty sum");
+        assert_eq!(c.broadcast(Some(vec![1u8, 2]), 0), vec![1, 2]);
+        assert_eq!(c.gather(2u32, 0), Some(vec![2]));
+        c.take_stats()
+    });
+    results.remove(0)
+}
+
+fn assert_self_consistent(s: &CommStats) {
+    // All traffic is self-traffic: nothing leaves the rank.
+    assert_eq!(s.remote_bytes(0), 0);
+    assert_eq!(s.dest_bytes.len(), 1);
+    assert_eq!(s.dest_bytes[0], 12, "one alltoallv of 3 u32s");
+    assert_eq!(s.total_bytes(), 12);
+    assert_eq!(s.total_msgs(), 1);
+    assert_eq!(s.alltoallv_calls, 1);
+    assert_eq!(s.barriers, 1);
+    // alltoall + allgather + 3 reductions (via allgather) + exscan +
+    // broadcast + gather = 8 dense collectives.
+    assert_eq!(s.dense_collectives, 8);
+    let (on, off) = s.split_bytes(|d| d == 0);
+    assert_eq!((on, off), (12, 0));
+}
+
+#[test]
+fn one_rank_world_is_self_consistent_shared() {
+    let s = exercise_all_collectives(&TransportKind::SharedMem);
+    assert_self_consistent(&s);
+}
+
+#[test]
+fn one_rank_world_is_self_consistent_simnet() {
+    let kind = TransportKind::SimNet(SimNetConfig {
+        platform: PlatformId::Aws,
+        ranks_per_node: 1,
+    });
+    let s = exercise_all_collectives(&kind);
+    assert_self_consistent(&s);
+    // The simulated network still charges latency for the collectives.
+    assert!(s.exchange_wall.as_secs_f64() > 0.0);
+}

@@ -1,0 +1,106 @@
+//! Round-trip and edge-case tests for the fixed-layout wire codec:
+//! empty slices, single elements, maximum-width records, extreme values,
+//! and the truncated/misaligned-buffer error behavior.
+
+use dibella_comm::{decode_iter, decode_vec, encode_slice, Wire};
+use proptest::prelude::*;
+
+/// The widest record the codec currently supports: a 4-tuple of u64s.
+type MaxRecord = (u64, u64, u64, u64);
+
+#[test]
+fn empty_slice_encodes_to_empty_buffer() {
+    let buf = encode_slice::<(u32, u64)>(&[]);
+    assert!(buf.is_empty());
+    assert!(decode_vec::<(u32, u64)>(&buf).is_empty());
+    assert_eq!(decode_iter::<(u32, u64)>(&buf).count(), 0);
+}
+
+#[test]
+fn single_element_round_trips() {
+    let items = [(7u16, 9u8)];
+    let buf = encode_slice(&items);
+    assert_eq!(buf.len(), <(u16, u8)>::SIZE);
+    assert_eq!(decode_vec::<(u16, u8)>(&buf), items);
+}
+
+#[test]
+fn max_width_record_round_trips_extremes() {
+    let items: Vec<MaxRecord> = vec![
+        (0, 0, 0, 0),
+        (u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+        (u64::MAX, 0, 1, u64::MAX - 1),
+    ];
+    assert_eq!(MaxRecord::SIZE, 32);
+    let buf = encode_slice(&items);
+    assert_eq!(buf.len(), items.len() * 32);
+    assert_eq!(decode_vec::<MaxRecord>(&buf), items);
+}
+
+#[test]
+fn signed_extremes_round_trip() {
+    let items = [
+        (i64::MIN, i32::MIN, i16::MIN, i8::MIN),
+        (i64::MAX, i32::MAX, i16::MAX, i8::MAX),
+        (-1i64, -1i32, -1i16, -1i8),
+    ];
+    let buf = encode_slice(&items);
+    assert_eq!(decode_vec::<(i64, i32, i16, i8)>(&buf), items);
+}
+
+#[test]
+#[should_panic(expected = "not a multiple")]
+fn truncated_buffer_rejected() {
+    let buf = encode_slice(&[(1u32, 2u64), (3u32, 4u64)]);
+    let _ = decode_vec::<(u32, u64)>(&buf[..buf.len() - 1]);
+}
+
+#[test]
+#[should_panic(expected = "not a multiple")]
+fn decode_iter_rejects_truncation_eagerly() {
+    let buf = encode_slice(&[5u64]);
+    let _ = decode_iter::<u64>(&buf[..7]);
+}
+
+#[test]
+#[should_panic]
+fn read_beyond_short_buffer_panics() {
+    // Wire::read documents a panic when fewer than SIZE bytes remain.
+    let _ = u32::read(&[0xAB, 0xCD]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity for arbitrary record vectors, and
+    /// the buffer length is exactly `n · SIZE`.
+    #[test]
+    fn round_trip_u32_u64(items in prop::collection::vec((any::<u32>(), any::<u64>()), 0..200)) {
+        let buf = encode_slice(&items);
+        prop_assert_eq!(buf.len(), items.len() * <(u32, u64)>::SIZE);
+        prop_assert_eq!(decode_vec::<(u32, u64)>(&buf), items);
+    }
+
+    /// The iterator decoder agrees with the materializing one.
+    #[test]
+    fn iter_matches_vec(items in prop::collection::vec(any::<u64>(), 0..100)) {
+        let buf = encode_slice(&items);
+        let via_iter: Vec<u64> = decode_iter(&buf).collect();
+        prop_assert_eq!(via_iter, decode_vec::<u64>(&buf));
+    }
+
+    /// Truncating any non-multiple number of trailing bytes is rejected.
+    #[test]
+    fn any_truncation_rejected(n in 1usize..50, cut in 1usize..8) {
+        let items: Vec<u64> = (0..n as u64).collect();
+        let buf = encode_slice(&items);
+        let res = std::panic::catch_unwind(|| decode_vec::<u64>(&buf[..buf.len() - cut]));
+        if cut % 8 == 0 {
+            // A whole-record truncation is indistinguishable from a
+            // shorter message — it must decode to the prefix.
+            prop_assert_eq!(res.unwrap(), items[..n - cut / 8].to_vec());
+        } else {
+            prop_assert!(res.is_err(), "cut {cut} should misalign the buffer");
+        }
+    }
+}

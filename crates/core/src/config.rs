@@ -1,6 +1,7 @@
 //! End-to-end pipeline configuration.
 
 use dibella_align::Scoring;
+use dibella_comm::TransportKind;
 use dibella_kcount::KcountConfig;
 use dibella_kmer::params;
 use dibella_overlap::{OverlapConfig, SeedPolicy, TaskPlacement};
@@ -44,6 +45,12 @@ pub struct PipelineConfig {
     /// Results are bit-identical for every value — tasks are sharded into
     /// fixed-size batches and merged back in batch order.
     pub align_threads: usize,
+    /// Communication backend the SPMD world runs on: `SharedMem` (the
+    /// default) executes collectives through real shared memory;
+    /// `SimNet(platform, ranks_per_node)` runs the same byte-identical
+    /// exchanges but reports the `exchange_wall` a modeled interconnect
+    /// (virtual Cori, Edison, Titan or AWS) would have charged.
+    pub transport: TransportKind,
 }
 
 impl Default for PipelineConfig {
@@ -63,6 +70,7 @@ impl Default for PipelineConfig {
             hll_precision: None,
             placement: TaskPlacement::Parity,
             align_threads: 1,
+            transport: TransportKind::SharedMem,
         }
     }
 }
@@ -119,6 +127,7 @@ mod tests {
         let cfg = PipelineConfig::default();
         assert_eq!(cfg.k, 17);
         assert_eq!(cfg.seed_policy, SeedPolicy::Single);
+        assert_eq!(cfg.transport, TransportKind::SharedMem);
         assert!(cfg.xdrop > 0);
         // Derived m is the BELLA Poisson threshold.
         let m = cfg.multiplicity_threshold();

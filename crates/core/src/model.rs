@@ -4,10 +4,10 @@
 //!
 //! Each stage's raw counters (k-mers packed/processed, pairs emitted, DP
 //! cells, bytes per destination) are weighted by the reference per-op
-//! costs of `dibella_netmodel::costs` and fed to the LogGP stage model.
+//! costs of `dibella_netmodel::op_costs` and fed to the LogGP stage model.
 
 use crate::pipeline::RankReport;
-use dibella_netmodel::{costs, stage_cost, NodeMapping, Platform, RankLoad, StageCost};
+use dibella_netmodel::{op_costs, stage_cost, NodeMapping, Platform, RankLoad, StageCost};
 
 /// The four pipeline stages, in order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -41,36 +41,36 @@ impl Stage {
 pub fn rank_load(report: &RankReport, stage: Stage) -> RankLoad {
     match stage {
         Stage::Bloom => RankLoad {
-            compute_ns: report.bloom.kmers_parsed as f64 * costs::NS_PER_KMER_PACK
-                + report.bloom.kmers_received as f64 * costs::NS_PER_KMER_BLOOM,
+            compute_ns: report.bloom.kmers_parsed as f64 * op_costs::NS_PER_KMER_PACK
+                + report.bloom.kmers_received as f64 * op_costs::NS_PER_KMER_BLOOM,
             working_set: report.bloom_bytes as f64 + report.table_keys as f64 * 32.0,
             dest_bytes: report.bloom_comm.dest_bytes.clone(),
             alltoallv_calls: report.bloom_comm.alltoallv_calls,
         },
         Stage::Hash => RankLoad {
-            compute_ns: report.hash.kmers_parsed as f64 * costs::NS_PER_KMER_PACK
-                + report.hash.kmers_received as f64 * costs::NS_PER_KMER_HT
+            compute_ns: report.hash.kmers_parsed as f64 * op_costs::NS_PER_KMER_PACK
+                + report.hash.kmers_received as f64 * op_costs::NS_PER_KMER_HT
                 + (report.filter.singletons_removed
                     + report.filter.high_freq_removed
                     + report.filter.retained) as f64
-                    * costs::NS_PER_HT_SCAN,
+                    * op_costs::NS_PER_HT_SCAN,
             working_set: report.table_bytes as f64,
             dest_bytes: report.hash_comm.dest_bytes.clone(),
             alltoallv_calls: report.hash_comm.alltoallv_calls,
         },
         Stage::Overlap => RankLoad {
-            compute_ns: report.overlap.retained_kmers as f64 * costs::NS_PER_RETAINED_KMER
-                + report.overlap.pairs_emitted as f64 * costs::NS_PER_PAIR_TASK
-                + report.overlap.tasks_received as f64 * costs::NS_PER_TASK_MERGE,
+            compute_ns: report.overlap.retained_kmers as f64 * op_costs::NS_PER_RETAINED_KMER
+                + report.overlap.pairs_emitted as f64 * op_costs::NS_PER_PAIR_TASK
+                + report.overlap.tasks_received as f64 * op_costs::NS_PER_TASK_MERGE,
             working_set: report.table_bytes as f64,
             dest_bytes: report.overlap_comm.dest_bytes.clone(),
             alltoallv_calls: report.overlap_comm.alltoallv_calls,
         },
         Stage::Align => RankLoad {
-            compute_ns: report.align.alignments as f64 * costs::NS_PER_ALIGNMENT
-                + report.align.dp_cells as f64 * costs::NS_PER_DP_CELL
+            compute_ns: report.align.alignments as f64 * op_costs::NS_PER_ALIGNMENT
+                + report.align.dp_cells as f64 * op_costs::NS_PER_DP_CELL
                 + (report.align.read_bytes_served + report.align.read_bytes_fetched) as f64
-                    * costs::NS_PER_READ_BYTE,
+                    * op_costs::NS_PER_READ_BYTE,
             working_set: (report.local_bases + report.align.read_bytes_fetched) as f64,
             dest_bytes: report.align_comm.dest_bytes.clone(),
             alltoallv_calls: report.align_comm.alltoallv_calls,

@@ -13,6 +13,12 @@
 //! [`PipelineConfig::align_threads`] worker threads with deterministic
 //! batching (see [`crate::alignment_stage`]) — results are bit-identical
 //! at every thread count.
+//!
+//! The communication substrate is pluggable via
+//! [`PipelineConfig::transport`]: the same run can execute over real
+//! shared memory or "on" a modeled interconnect (`SimNet`), in which case
+//! each stage's `exchange` timing reflects the virtual platform while
+//! alignments and traffic counters stay byte-identical.
 
 use crate::alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
 use crate::config::PipelineConfig;
@@ -89,10 +95,21 @@ pub struct RankReport {
 }
 
 impl RankReport {
+    /// The four stage timings in pipeline order (Bloom, Hash, Overlap,
+    /// Align) — the single place that enumerates them, so aggregate
+    /// accessors cannot silently miss a stage when one is added.
+    pub fn stage_timings(&self) -> [StageTiming; 4] {
+        [self.bloom_wall, self.hash_wall, self.overlap_wall, self.align_wall]
+    }
+
     /// Total pipeline wall time on this rank.
     pub fn total_wall(&self) -> Duration {
-        self.bloom_wall.total + self.hash_wall.total + self.overlap_wall.total
-            + self.align_wall.total
+        self.stage_timings().iter().map(|t| t.total).sum()
+    }
+
+    /// Total time this rank spent inside collectives, across all stages.
+    pub fn total_exchange(&self) -> Duration {
+        self.stage_timings().iter().map(|t| t.exchange).sum()
     }
 }
 
@@ -228,7 +245,7 @@ fn merge(results: Vec<(Vec<AlignmentRecord>, RankReport)>) -> PipelineResult {
 /// be dense input-order, as produced by the loaders in `dibella-io`).
 pub fn run_pipeline(reads: &ReadSet, p: usize, cfg: &PipelineConfig) -> PipelineResult {
     let (part, chunks) = partition_reads(reads, p);
-    let results = CommWorld::run(p, |comm| {
+    let results = CommWorld::run_with(p, &cfg.transport, |comm| {
         pipeline_rank(
             comm,
             chunks[comm.rank()].clone().into_reads(),
@@ -246,7 +263,7 @@ pub fn run_pipeline(reads: &ReadSet, p: usize, cfg: &PipelineConfig) -> Pipeline
 /// distributed roughly uniformly over the processors using parallel I/O").
 pub fn run_pipeline_fastq(fastq: &[u8], p: usize, cfg: &PipelineConfig) -> PipelineResult {
     let ranges = byte_ranges(fastq.len(), p);
-    let results = CommWorld::run(p, |comm| {
+    let results = CommWorld::run_with(p, &cfg.transport, |comm| {
         let mut local = parse_block(fastq, ranges[comm.rank()])
             .expect("malformed FASTQ block");
         // Global, input-order read IDs via exclusive scan of counts.
@@ -368,6 +385,21 @@ mod tests {
             assert!(r.hash_comm.alltoallv_calls >= 1);
             assert!(r.overlap_comm.alltoallv_calls == 1);
             assert!(r.align_comm.alltoallv_calls == 2);
+        }
+    }
+
+    #[test]
+    fn total_wall_sums_all_stage_timings() {
+        let reads = dataset(8, 150, 50, 9);
+        let res = run_pipeline(&reads, 2, &small_cfg());
+        for r in &res.reports {
+            let timings = r.stage_timings();
+            assert_eq!(timings.len(), 4);
+            let sum: Duration = timings.iter().map(|t| t.total).sum();
+            assert_eq!(r.total_wall(), sum);
+            let exch: Duration = timings.iter().map(|t| t.exchange).sum();
+            assert_eq!(r.total_exchange(), exch);
+            assert!(r.total_wall() >= r.bloom_wall.total + r.align_wall.total);
         }
     }
 

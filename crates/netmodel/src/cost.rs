@@ -134,6 +134,32 @@ pub fn cache_penalty(working_set: f64, cache_per_core: f64) -> f64 {
     }
 }
 
+/// Latency of one collective call on `platform` with `ranks` participants:
+/// `α + α_rank·P`, in seconds. The per-call term of both the analytic
+/// stage model below and the executable `SimNet` transport in
+/// `dibella-comm`, so the two charge identical latencies.
+pub fn collective_latency_s(platform: &Platform, ranks: usize) -> f64 {
+    (platform.coll_alpha_us + platform.coll_per_rank_us * ranks as f64) * 1e-6
+}
+
+/// Transfer seconds for one node's share of an irregular exchange:
+/// off-node bytes drain through the NIC at the platform's effective
+/// injection bandwidth, on-node bytes move at memory bandwidth.
+pub fn exchange_transfer_s(platform: &Platform, on_node_bytes: u64, off_node_bytes: u64) -> f64 {
+    off_node_bytes as f64 / (platform.inj_bw_mb_s * 1e6)
+        + on_node_bytes as f64 / (platform.mem_bw_mb_s * 1e6)
+}
+
+/// One-time overhead of the job's *first* `MPI_Alltoallv` (paper §6/§10):
+/// per-peer connection/buffer establishment, linear in `ranks`, plus
+/// `first_alltoallv_factor` extra calls of cost `base_call_s` (one average
+/// call of the charged stage, or the first call itself when charged
+/// per-call by `SimNet`).
+pub fn first_alltoallv_setup_s(platform: &Platform, ranks: usize, base_call_s: f64) -> f64 {
+    platform.setup_us_per_rank * ranks as f64 * 1e-6
+        + platform.first_alltoallv_factor * base_call_s
+}
+
 /// Model one stage.
 ///
 /// `loads.len()` must equal `mapping.ranks()`. `first_exchange` charges the
@@ -177,18 +203,13 @@ pub fn stage_cost(
         .enumerate()
         .map(|(r, l)| {
             let home = mapping.node_of(r);
-            let latency = l.alltoallv_calls as f64
-                * (platform.coll_alpha_us + platform.coll_per_rank_us * p as f64)
-                * 1e-6;
-            let injection = node_off[home] as f64 / (platform.inj_bw_mb_s * 1e6);
-            let local_copy = node_on[home] as f64 / (platform.mem_bw_mb_s * 1e6);
-            let base = latency + injection + local_copy;
+            let latency = l.alltoallv_calls as f64 * collective_latency_s(platform, p);
+            let base = latency + exchange_transfer_s(platform, node_on[home], node_off[home]);
             // First-Alltoallv setup (paper §6/§10): the job's first call
             // pays (a) per-peer connection/buffer establishment, linear in
             // P, and (b) an extra `factor` average calls of this stage.
             let setup = if first_exchange && l.alltoallv_calls > 0 {
-                platform.setup_us_per_rank * p as f64 * 1e-6
-                    + platform.first_alltoallv_factor * base / l.alltoallv_calls as f64
+                first_alltoallv_setup_s(platform, p, base / l.alltoallv_calls as f64)
             } else {
                 0.0
             };
@@ -290,6 +311,39 @@ mod tests {
         let wo4 = stage_cost(&CORI, m, &loads4, false);
         let ratio4 = (w4.max_exchange() - conn) / wo4.max_exchange();
         assert!((ratio4 - 1.25).abs() < 1e-9, "{ratio4}");
+    }
+
+    #[test]
+    fn per_collective_delay_components() {
+        // Latency grows with rank count and is slowest on the commodity net.
+        assert!(collective_latency_s(&CORI, 64) > collective_latency_s(&CORI, 4));
+        assert!(collective_latency_s(&AWS, 16) > 5.0 * collective_latency_s(&CORI, 16));
+        // A byte is cheaper over the memory bus than through the NIC.
+        assert!(
+            exchange_transfer_s(&CORI, 1_000_000, 0) < exchange_transfer_s(&CORI, 0, 1_000_000)
+        );
+        assert_eq!(exchange_transfer_s(&CORI, 0, 0), 0.0);
+        // Setup = per-peer connection term + `factor` extra base calls.
+        let s = first_alltoallv_setup_s(&CORI, 8, 1e-3);
+        let expect = CORI.setup_us_per_rank * 8.0 * 1e-6 + CORI.first_alltoallv_factor * 1e-3;
+        assert!((s - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_cost_decomposes_into_delay_functions() {
+        // One uniform call: per-rank exchange equals latency + transfer of
+        // the node's aggregated volume (no setup).
+        let m = NodeMapping::new(2, 2);
+        let loads = uniform_loads(4, 0.0, 1_000, 1);
+        let cost = stage_cost(&CORI, m, &loads, false);
+        // Each node hosts 2 ranks, each sending 1000 B to all 4 ranks:
+        // on-node = 2 ranks × 2 on-node dests, off-node likewise.
+        let on = 2 * 2 * 1_000;
+        let off = 2 * 2 * 1_000;
+        let expect = collective_latency_s(&CORI, 4) + exchange_transfer_s(&CORI, on, off);
+        for &e in &cost.exchange_s {
+            assert!((e - expect).abs() < 1e-15, "{e} vs {expect}");
+        }
     }
 
     #[test]

@@ -17,10 +17,18 @@
 #![warn(missing_docs)]
 
 pub mod cost;
-pub mod costs;
 pub mod efficiency;
+pub mod op_costs;
 pub mod platforms;
 
-pub use cost::{cache_penalty, stage_cost, NodeMapping, RankLoad, StageCost};
+/// Deprecated alias of [`op_costs`] (the module was renamed to end the
+/// `cost` / `costs` near-collision); update imports to `op_costs`.
+#[doc(hidden)]
+pub use op_costs as costs;
+
+pub use cost::{
+    cache_penalty, collective_latency_s, exchange_transfer_s, first_alltoallv_setup_s,
+    stage_cost, NodeMapping, RankLoad, StageCost,
+};
 pub use efficiency::{mrate, render_table, speedup, strong_efficiency, Series};
 pub use platforms::{table1, Platform, PlatformId, AWS, CORI, EDISON, TITAN};

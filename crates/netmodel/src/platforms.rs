@@ -34,6 +34,30 @@ impl PlatformId {
         PlatformId::TitanXK7,
         PlatformId::Aws,
     ];
+
+    /// Canonical lower-case CLI name, the inverse of [`Self::parse`]:
+    /// `cori`, `edison`, `titan`, `aws`.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            PlatformId::CoriXC40 => "cori",
+            PlatformId::EdisonXC30 => "edison",
+            PlatformId::TitanXK7 => "titan",
+            PlatformId::Aws => "aws",
+        }
+    }
+
+    /// Parse a user-facing platform name (as accepted by the CLI's
+    /// `--transport sim:<platform>` syntax), case-insensitively:
+    /// `cori`/`xc40`, `edison`/`xc30`, `titan`/`xk7`, `aws`.
+    pub fn parse(name: &str) -> Option<PlatformId> {
+        match name.to_ascii_lowercase().as_str() {
+            "cori" | "xc40" => Some(PlatformId::CoriXC40),
+            "edison" | "xc30" => Some(PlatformId::EdisonXC30),
+            "titan" | "xk7" => Some(PlatformId::TitanXK7),
+            "aws" => Some(PlatformId::Aws),
+            _ => None,
+        }
+    }
 }
 
 /// Architectural description + calibrated model constants for a platform.
@@ -250,6 +274,20 @@ mod tests {
             assert_eq!(Platform::get(id).id, id);
         }
         assert_eq!(Platform::all().len(), 4);
+    }
+
+    #[test]
+    fn name_parsing() {
+        assert_eq!(PlatformId::parse("cori"), Some(PlatformId::CoriXC40));
+        assert_eq!(PlatformId::parse("CORI"), Some(PlatformId::CoriXC40));
+        assert_eq!(PlatformId::parse("xc30"), Some(PlatformId::EdisonXC30));
+        assert_eq!(PlatformId::parse("titan"), Some(PlatformId::TitanXK7));
+        assert_eq!(PlatformId::parse("aws"), Some(PlatformId::Aws));
+        assert_eq!(PlatformId::parse("summit"), None);
+        // cli_name is the exact inverse of parse for every platform.
+        for id in PlatformId::ALL {
+            assert_eq!(PlatformId::parse(id.cli_name()), Some(id));
+        }
     }
 
     #[test]

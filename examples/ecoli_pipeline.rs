@@ -7,6 +7,8 @@
 //! DIBELLA_SCALE=0.05 cargo run --release --example ecoli_pipeline
 //! # hybrid-parallel: 8 ranks × 4 alignment threads per rank
 //! DIBELLA_ALIGN_THREADS=4 cargo run --release --example ecoli_pipeline
+//! # run "on" a virtual AWS cluster (modeled exchange times, same results)
+//! DIBELLA_TRANSPORT=sim:aws:16 cargo run --release --example ecoli_pipeline
 //! ```
 
 use dibella::datagen::ecoli_30x_like;
@@ -25,9 +27,13 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let transport: TransportKind = std::env::var("DIBELLA_TRANSPORT")
+        .ok()
+        .map(|v| v.parse().expect("DIBELLA_TRANSPORT"))
+        .unwrap_or_default();
 
     println!("== E. coli 30x-like workload at scale {scale} ==");
-    println!("{ranks} ranks x {align_threads} alignment thread(s) per rank");
+    println!("{ranks} ranks x {align_threads} alignment thread(s) per rank, transport {transport}");
     let ds = ecoli_30x_like(scale, 42);
     println!(
         "genome {:.0} kb | {} reads | {:.1} Mb | depth {:.1}x | mean read {:.0} bp",
@@ -48,6 +54,7 @@ fn main() {
             seed_policy: policy,
             max_seeds_per_pair: 8,
             align_threads,
+            transport,
             ..Default::default()
         };
         let t = std::time::Instant::now();
@@ -89,5 +96,9 @@ fn main() {
         println!("  exchanged {:.2} MB total", bytes as f64 / 1e6);
         let slowest = result.wall();
         println!("  slowest rank wall {slowest:.2?}");
+        if transport != TransportKind::SharedMem {
+            let exch = result.reports.iter().map(|r| r.total_exchange()).max().unwrap();
+            println!("  modeled exchange ({transport}): slowest rank {exch:.3?}");
+        }
     }
 }

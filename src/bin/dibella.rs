@@ -40,6 +40,7 @@ const USAGE: &str = "dibella — distributed long-read overlap and alignment (IC
 
 USAGE:
   dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--align-threads N]
+                  [--transport shared|sim:<platform>[:<ranks_per_node>]]
                   [--policy one|1000|k] [-e ERR] [-d DEPTH] [-x XDROP]
                   [--min-score S] [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
@@ -111,6 +112,12 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
     let min_score: i32 = flags.get("min-score", 0)?;
     // Intra-rank alignment threads (hybrid parallelism; 0 = all cores).
     let align_threads: usize = flags.get("align-threads", flags.get("t", 1)?)?;
+    // Communication backend: real shared memory, or a simulated network
+    // ("sim:<platform>[:<ranks_per_node>]" — virtual cori|edison|titan|aws).
+    let transport: TransportKind = match flags.named.get("transport") {
+        None => TransportKind::SharedMem,
+        Some(v) => v.parse()?,
+    };
     let policy = match flags.named.get("policy").map(String::as_str) {
         None | Some("one") => SeedPolicy::Single,
         Some("1000") => SeedPolicy::MinDistance(1000),
@@ -126,14 +133,16 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         xdrop,
         min_align_score: min_score,
         align_threads,
+        transport,
         ..Default::default()
     };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s)",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s), transport {}",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
         cfg.multiplicity_threshold(),
-        cfg.effective_align_threads()
+        cfg.effective_align_threads(),
+        cfg.transport
     );
     let t = std::time::Instant::now();
     let result = run_pipeline(&reads, ranks, &cfg);
@@ -143,6 +152,20 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         result.n_alignments_computed(),
         t.elapsed()
     );
+    if cfg.transport != TransportKind::SharedMem {
+        // Under a simulated network the recorded exchange time is the
+        // modeled platform's, not the host's — surface it.
+        let slowest = result
+            .reports
+            .iter()
+            .map(|r| r.total_exchange())
+            .max()
+            .unwrap_or_default();
+        eprintln!(
+            "dibella: modeled exchange on {}: slowest rank {:.3?}",
+            cfg.transport, slowest
+        );
+    }
 
     // PAF output.
     let names = |id: ReadId| reads.reads()[id as usize].name.clone();

@@ -1,6 +1,10 @@
 //! Fast CI smoke signal: one tiny end-to-end pipeline run on a 2-rank
 //! world, designed to finish in well under 5 seconds so a broken build is
 //! caught before the heavier `end_to_end` / `model_projection` suites run.
+//!
+//! `DIBELLA_TRANSPORT` (`shared` | `sim:<platform>[:<ranks_per_node>]`)
+//! selects the communication backend, so CI smokes both the real and the
+//! simulated-network transports with the same assertions.
 
 use dibella::prelude::*;
 use std::time::Instant;
@@ -25,11 +29,16 @@ fn two_rank_pipeline_smoke() {
         .map(|i| Read::new(i, format!("r{i}"), genome[i as usize * 120..][..400].to_vec()))
         .collect();
 
+    let transport: TransportKind = std::env::var("DIBELLA_TRANSPORT")
+        .ok()
+        .map(|v| v.parse().expect("DIBELLA_TRANSPORT"))
+        .unwrap_or_default();
     let cfg = PipelineConfig {
         k: 15,
         depth: 3.0,
         error_rate: 0.0,
         max_multiplicity: Some(16),
+        transport,
         ..Default::default()
     };
     let res = run_pipeline(&reads, 2, &cfg);

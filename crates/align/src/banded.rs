@@ -9,6 +9,7 @@
 
 use crate::scoring::Scoring;
 use crate::sw::LocalAlignment;
+use crate::workspace::AlignWorkspace;
 
 /// Banded local alignment of `s` and `t`, restricted to diagonals
 /// `center − half_band ..= center + half_band`, where a cell `(i, j)` lies
@@ -16,6 +17,9 @@ use crate::sw::LocalAlignment;
 ///
 /// Start coordinates are not recovered (score/end only) — the pipeline
 /// uses banded alignment for scoring and filtering, like BELLA.
+///
+/// Thin wrapper over [`banded_sw_with_workspace`] with a throwaway
+/// workspace.
 ///
 /// # Panics
 /// Panics if `half_band == 0`... zero-width bands cannot host a match run
@@ -27,14 +31,35 @@ pub fn banded_sw(
     half_band: usize,
     scoring: Scoring,
 ) -> LocalAlignment {
+    banded_sw_with_workspace(s, t, center, half_band, scoring, &mut AlignWorkspace::new())
+}
+
+/// [`banded_sw`] using caller-owned scratch for its two DP rows: zero
+/// heap allocations once the workspace has warmed up to the widest band
+/// seen. Output is bit-identical to [`banded_sw`] for every input and any
+/// prior workspace state.
+///
+/// # Panics
+/// Panics if `half_band == 0`, exactly as [`banded_sw`] does.
+pub fn banded_sw_with_workspace(
+    s: &[u8],
+    t: &[u8],
+    center: i64,
+    half_band: usize,
+    scoring: Scoring,
+    ws: &mut AlignWorkspace,
+) -> LocalAlignment {
     assert!(half_band > 0, "band must have positive width");
     let n = s.len();
     let m = t.len();
     let width = 2 * half_band + 1;
     // Row-wise DP over i; for each i, j ranges over the band around
     // diagonal `center`: j ∈ [i + center − half_band, i + center + half_band].
-    let mut prev = vec![0i32; width];
-    let mut cur = vec![0i32; width];
+    let [prev, cur] = &mut ws.banded;
+    prev.clear();
+    prev.resize(width, 0);
+    cur.clear();
+    cur.resize(width, 0);
     let mut best = 0i32;
     let mut best_i = 0usize;
     let mut best_j = 0usize;
@@ -67,7 +92,7 @@ pub fn banded_sw(
                 best_j = j;
             }
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     LocalAlignment {
         score: best,

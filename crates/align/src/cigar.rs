@@ -10,6 +10,7 @@
 //! query `a`, consuming `a` only).
 
 use crate::scoring::Scoring;
+use crate::workspace::AlignWorkspace;
 
 /// One CIGAR operation kind.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,13 +167,31 @@ impl std::fmt::Display for Cigar {
 /// returning the score and the full path. O(|a|·|b|) time and memory —
 /// intended for the *overlap regions* the x-drop kernel has already
 /// localized (paper workflow: locate cheaply, then edit where needed).
+///
+/// Thin wrapper over [`global_alignment_with_workspace`] with a throwaway
+/// workspace.
 pub fn global_alignment(a: &[u8], b: &[u8], scoring: Scoring) -> (i32, Cigar) {
+    global_alignment_with_workspace(a, b, scoring, &mut AlignWorkspace::new())
+}
+
+/// [`global_alignment`] using caller-owned scratch for the DP matrix and
+/// the traceback op list. Only the returned [`Cigar`]'s run vector is
+/// allocated; output is bit-identical to [`global_alignment`] for every
+/// input and any prior workspace state.
+pub fn global_alignment_with_workspace(
+    a: &[u8],
+    b: &[u8],
+    scoring: Scoring,
+    ws: &mut AlignWorkspace,
+) -> (i32, Cigar) {
     let n = a.len();
     let m = b.len();
     const NEG: i32 = i32::MIN / 4;
     // DP with full matrix for traceback. Row-major (n+1) x (m+1).
     let width = m + 1;
-    let mut dp = vec![NEG; (n + 1) * width];
+    let dp = &mut ws.cigar_dp;
+    dp.clear();
+    dp.resize((n + 1) * width, NEG);
     dp[0] = 0;
     for (j, cell) in dp.iter_mut().enumerate().take(m + 1).skip(1) {
         *cell = scoring.gap * j as i32;
@@ -187,7 +206,8 @@ pub fn global_alignment(a: &[u8], b: &[u8], scoring: Scoring) -> (i32, Cigar) {
         }
     }
     // Traceback (prefer diagonal, then up, then left — deterministic).
-    let mut rev: Vec<CigarOp> = Vec::with_capacity(n + m);
+    let rev = &mut ws.cigar_ops;
+    rev.clear();
     let mut i = n;
     let mut j = m;
     while i > 0 || j > 0 {
@@ -213,7 +233,7 @@ pub fn global_alignment(a: &[u8], b: &[u8], scoring: Scoring) -> (i32, Cigar) {
         }
     }
     let mut cigar = Cigar::default();
-    for op in rev.into_iter().rev() {
+    for &op in rev.iter().rev() {
         cigar.push(op);
     }
     (dp[n * width + m], cigar)

@@ -16,10 +16,37 @@
 //! stage's x-drop load imbalance (paper §9, Figure 8).
 
 use crate::scoring::Scoring;
+use crate::workspace::AlignWorkspace;
 
 /// Score used for pruned/unreachable cells. Kept well away from `i32::MIN`
 /// so arithmetic cannot overflow.
 const NEG_INF: i32 = i32::MIN / 4;
+
+/// Direction an extension walks its input slices in.
+///
+/// `Fwd` reads `s[i]`; `Rev` reads `s[len − 1 − i]`, i.e. the slice
+/// backward **in place** — the copy-free equivalent of extending over a
+/// reversed prefix. Used as a `const` generic so the hot loop is
+/// monomorphized with no per-base branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Left-to-right (suffix extension).
+    Fwd,
+    /// Right-to-left (prefix extension, walked without materializing the
+    /// reversed copy).
+    Rev,
+}
+
+/// Base `idx` of `seq` in walk order: identity for the forward direction,
+/// mirrored for the reverse direction.
+#[inline(always)]
+fn base_at<const REV: bool>(seq: &[u8], idx: usize) -> u8 {
+    if REV {
+        seq[seq.len() - 1 - idx]
+    } else {
+        seq[idx]
+    }
+}
 
 /// Outcome of a one-directional x-drop extension.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,11 +66,51 @@ pub struct Extension {
 ///
 /// Returns the maximum-score pair of prefixes; the extension may be empty
 /// (`score = 0`).
+///
+/// Thin wrapper over [`extend_xdrop_with_workspace`] with a throwaway
+/// workspace; hot callers should hold a per-thread [`AlignWorkspace`] and
+/// call the workspace variant directly.
 pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
+    extend_xdrop_with_workspace(s, t, scoring, x, &mut AlignWorkspace::new())
+}
+
+/// [`extend_xdrop`] using caller-owned scratch: zero heap allocations per
+/// antidiagonal and — once `ws` has warmed up — zero per call.
+///
+/// Output is bit-identical to [`extend_xdrop`] for every input and any
+/// prior workspace state.
+pub fn extend_xdrop_with_workspace(
+    s: &[u8],
+    t: &[u8],
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> Extension {
+    xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop)
+}
+
+/// The x-drop scan over antidiagonals, generic over walk direction.
+///
+/// Row storage is the caller's three reusable buffers (antidiagonals d−2,
+/// d−1 and the one being filled), **rotated** at the end of each
+/// antidiagonal instead of cloned. Pruning no longer copies the surviving
+/// span out: each row keeps its physical base offset (`*_base`, the `lo`
+/// it was filled at) alongside the logical surviving range
+/// (`*_lo ..= *_hi`), and all reads bound-check against the logical range
+/// — so the scores read, the candidate ranges derived from them, and the
+/// `cells` tally are exactly those of the historical copying
+/// implementation.
+pub(crate) fn xdrop_core<const REV: bool>(
+    s: &[u8],
+    t: &[u8],
+    scoring: Scoring,
+    x: i32,
+    rows: &mut [Vec<i32>; 3],
+) -> Extension {
     assert!(x > 0, "x-drop threshold must be positive");
     let n = s.len();
     let m = t.len();
-    if n == 0 && m == 0 {
+    if n == 0 || m == 0 {
         return Extension { score: 0, s_ext: 0, t_ext: 0, cells: 0 };
     }
 
@@ -54,17 +121,17 @@ pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
     let mut best_j = 0usize;
     let mut cells = 0u64;
 
-    // Row storage: scores for [lo..=hi], offset by lo.
-    let mut prev2: Vec<i32> = vec![0];
-    let mut prev2_lo = 0usize;
+    let [prev2, prev, cur] = rows;
 
-    // Antidiagonal 1 (if it exists).
-    if n == 0 || m == 0 {
-        return Extension { score: 0, s_ext: 0, t_ext: 0, cells: 0 };
-    }
-    // d = 1: cells (0,1) and (1,0), both pure gap.
-    let mut prev: Vec<i32> = Vec::with_capacity(2);
-    let prev_lo_init = 0usize;
+    // d = 0: the single cell (0, 0) = 0.
+    prev2.clear();
+    prev2.push(0);
+    let mut prev2_base = 0usize;
+    let mut prev2_lo = 0usize;
+    let mut prev2_hi = 0usize;
+
+    // d = 1: cells (0,1) and (1,0), both pure gap (n, m ≥ 1 here).
+    prev.clear();
     for i in 0..=1usize {
         let jd = 1 - i;
         if i > n || jd > m {
@@ -79,7 +146,9 @@ pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
     if prev.iter().all(|&v| v < best - x) {
         return Extension { score: best, s_ext: best_i, t_ext: best_j, cells };
     }
-    let mut prev_lo = prev_lo_init;
+    let mut prev_base = 0usize;
+    let mut prev_lo = 0usize;
+    let mut prev_hi = 1usize;
 
     let mut d = 1usize;
     loop {
@@ -90,13 +159,13 @@ pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
         // Candidate i range for row d from surviving cells of row d-1:
         // a cell (i, j) on row d is reachable from (i, j-1) [same i] or
         // (i-1, j) [i-1] on row d-1, or (i-1, j-1) on row d-2.
-        let prev_hi = prev_lo + prev.len() - 1;
         let lo = prev_lo.max(d.saturating_sub(m));
         let hi = (prev_hi + 1).min(d).min(n);
         if lo > hi {
             break;
         }
-        let mut row = vec![NEG_INF; hi - lo + 1];
+        cur.clear();
+        cur.resize(hi - lo + 1, NEG_INF);
         let mut any = false;
         for i in lo..=hi {
             let j = d - i;
@@ -107,26 +176,25 @@ pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
             let mut v = NEG_INF;
             // Gap in s (from (i, j-1), row d-1, same i).
             if i >= prev_lo && i <= prev_hi && j >= 1 {
-                let c = prev[i - prev_lo];
+                let c = prev[i - prev_base];
                 if c > NEG_INF {
                     v = v.max(c + scoring.gap);
                 }
             }
             // Gap in t (from (i-1, j), row d-1, index i-1).
             if i > prev_lo && i - 1 <= prev_hi {
-                let c = prev[i - 1 - prev_lo];
+                let c = prev[i - 1 - prev_base];
                 if c > NEG_INF {
                     v = v.max(c + scoring.gap);
                 }
             }
             // Substitution (from (i-1, j-1), row d-2, index i-1).
-            if i >= 1 && j >= 1 {
-                let p2_hi = prev2_lo + prev2.len() - 1;
-                if i > prev2_lo && i - 1 <= p2_hi {
-                    let c = prev2[i - 1 - prev2_lo];
-                    if c > NEG_INF {
-                        v = v.max(c + scoring.substitution(s[i - 1], t[j - 1]));
-                    }
+            if i >= 1 && j >= 1 && i > prev2_lo && i - 1 <= prev2_hi {
+                let c = prev2[i - 1 - prev2_base];
+                if c > NEG_INF {
+                    let sub = scoring
+                        .substitution(base_at::<REV>(s, i - 1), base_at::<REV>(t, j - 1));
+                    v = v.max(c + sub);
                 }
             }
             if v <= NEG_INF {
@@ -137,30 +205,32 @@ pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
                 best_i = i;
                 best_j = j;
             }
-            row[i - lo] = v;
+            cur[i - lo] = v;
             any = true;
         }
         if !any {
             break;
         }
-        // X-drop pruning: drop cells below best - x; shrink to the
-        // surviving span.
+        // X-drop pruning: restrict the logical range to cells ≥ best − x.
+        // No copy, no NEG_INF back-fill: cells outside [first, last] are
+        // simply excluded by the next rows' logical-range bound checks.
         let threshold = best - x;
-        let first = row.iter().position(|&v| v >= threshold);
-        let last = row.iter().rposition(|&v| v >= threshold);
+        let first = cur.iter().position(|&v| v >= threshold);
+        let last = cur.iter().rposition(|&v| v >= threshold);
         let (first, last) = match (first, last) {
             (Some(f), Some(l)) => (f, l),
             _ => break, // every cell pruned → extension terminates
         };
-        for v in row.iter_mut().take(first) {
-            *v = NEG_INF;
-        }
-        for v in row.iter_mut().skip(last + 1) {
-            *v = NEG_INF;
-        }
-        let new_row: Vec<i32> = row[first..=last].to_vec();
-        prev2 = std::mem::replace(&mut prev, new_row);
-        prev2_lo = std::mem::replace(&mut prev_lo, lo + first);
+        // Rotate: d-1 becomes d-2, the filled row becomes d-1, and the
+        // old d-2 buffer is recycled as the next row's storage.
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
+        prev2_base = prev_base;
+        prev2_lo = prev_lo;
+        prev2_hi = prev_hi;
+        prev_base = lo;
+        prev_lo = lo + first;
+        prev_hi = lo + last;
     }
 
     Extension { score: best, s_ext: best_i, t_ext: best_j, cells }
@@ -220,29 +290,84 @@ pub struct SeedAlignment {
     pub cells: u64,
 }
 
+/// Directional [`extend_xdrop_with_workspace`]: `Dir::Fwd` extends over
+/// the slices left-to-right; `Dir::Rev` extends right-to-left **in
+/// place**, equivalent to (and bit-identical with) extending over
+/// materialized reversed copies — without the copies.
+pub fn extend_xdrop_dir_with_workspace(
+    s: &[u8],
+    t: &[u8],
+    dir: Dir,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> Extension {
+    match dir {
+        Dir::Fwd => xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop),
+        Dir::Rev => xdrop_core::<true>(s, t, scoring, x, &mut ws.xdrop),
+    }
+}
+
 /// Seed-and-extend with gapped x-drop in both directions from a shared
 /// k-mer (paper §4 step 4: "perform alignment on these read pairs using
 /// the shared k-mer as the starting position (seed)").
 ///
+/// Thin wrapper over [`extend_seed_with_workspace`] with a throwaway
+/// workspace.
+///
 /// # Panics
 /// Panics if the seed exceeds either sequence.
 pub fn extend_seed(a: &[u8], b: &[u8], seed: SeedHit, scoring: Scoring, x: i32) -> SeedAlignment {
+    extend_seed_with_workspace(a, b, seed, scoring, x, &mut AlignWorkspace::new())
+}
+
+/// [`extend_seed`] using caller-owned scratch. The left extension walks
+/// the two prefixes backward in place ([`Dir::Rev`]) instead of
+/// materializing reversed copies, so the per-task steady state performs
+/// zero heap allocations.
+///
+/// # Panics
+/// Panics if the seed exceeds either sequence.
+pub fn extend_seed_with_workspace(
+    a: &[u8],
+    b: &[u8],
+    seed: SeedHit,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> SeedAlignment {
     assert!(seed.a_pos + seed.k <= a.len(), "seed out of range in a");
     assert!(seed.b_pos + seed.k <= b.len(), "seed out of range in b");
 
     // Score the seed region itself (normally k matches; sequencing errors
     // can make canonical-strand seeds imperfect, so score actual bases).
-    let seed_score: i32 = (0..seed.k)
-        .map(|i| scoring.substitution(a[seed.a_pos + i], b[seed.b_pos + i]))
+    // Iterating the two base slices directly lets the compiler hoist the
+    // bounds checks out of the per-task prologue.
+    let seed_score: i32 = a[seed.a_pos..seed.a_pos + seed.k]
+        .iter()
+        .zip(&b[seed.b_pos..seed.b_pos + seed.k])
+        .map(|(&ab, &bb)| scoring.substitution(ab, bb))
         .sum();
 
-    // Left: reversed prefixes.
-    let a_left: Vec<u8> = a[..seed.a_pos].iter().rev().copied().collect();
-    let b_left: Vec<u8> = b[..seed.b_pos].iter().rev().copied().collect();
-    let left = extend_xdrop(&a_left, &b_left, scoring, x);
+    // Left: the prefixes, walked backward in place.
+    let left = extend_xdrop_dir_with_workspace(
+        &a[..seed.a_pos],
+        &b[..seed.b_pos],
+        Dir::Rev,
+        scoring,
+        x,
+        ws,
+    );
 
     // Right: suffixes.
-    let right = extend_xdrop(&a[seed.a_pos + seed.k..], &b[seed.b_pos + seed.k..], scoring, x);
+    let right = extend_xdrop_dir_with_workspace(
+        &a[seed.a_pos + seed.k..],
+        &b[seed.b_pos + seed.k..],
+        Dir::Fwd,
+        scoring,
+        x,
+        ws,
+    );
 
     SeedAlignment {
         score: left.score + seed_score + right.score,

@@ -1,0 +1,146 @@
+//! Bit-identity of the `*_with_workspace` kernels vs the legacy
+//! allocating implementations.
+//!
+//! Every property routes its workspace calls through ONE thread-local
+//! [`AlignWorkspace`] that is never reset between cases — so the ~1k
+//! random inputs double as a back-to-back dirty-reuse test: any kernel
+//! reading stale scratch from a previous (differently-sized, differently-
+//! shaped) call would diverge from the fresh legacy run and fail here.
+
+use dibella_align::{
+    banded_sw, banded_sw_with_workspace, extend_seed, extend_seed_with_workspace, extend_xdrop,
+    extend_xdrop_dir_with_workspace, extend_xdrop_with_workspace, global_alignment,
+    global_alignment_with_workspace, AlignWorkspace, Cigar, Dir, Scoring, SeedHit,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Deliberately shared, never-cleared workspace: every case of every
+    /// property dirties it for the next one.
+    static WS: RefCell<AlignWorkspace> = RefCell::new(AlignWorkspace::new());
+}
+
+fn with_ws<R>(f: impl FnOnce(&mut AlignWorkspace) -> R) -> R {
+    WS.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"ACGT".to_vec()), len)
+}
+
+const S: Scoring = Scoring::bella();
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Forward x-drop: workspace kernel equals the legacy one, including
+    /// the `cells` tally.
+    #[test]
+    fn xdrop_matches_legacy(s in dna(0..160), t in dna(0..160), x in 1i32..80) {
+        let legacy = extend_xdrop(&s, &t, S, x);
+        let ws = with_ws(|ws| extend_xdrop_with_workspace(&s, &t, S, x, ws));
+        prop_assert_eq!(ws, legacy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(250))]
+
+    /// Reverse-direction extension (in-place backward walk) equals the
+    /// legacy recipe of extending over materialized reversed copies.
+    #[test]
+    fn rev_dir_matches_reversed_copies(s in dna(0..140), t in dna(0..140), x in 1i32..60) {
+        let s_rev: Vec<u8> = s.iter().rev().copied().collect();
+        let t_rev: Vec<u8> = t.iter().rev().copied().collect();
+        let legacy = extend_xdrop(&s_rev, &t_rev, S, x);
+        let ws = with_ws(|ws| extend_xdrop_dir_with_workspace(&s, &t, Dir::Rev, S, x, ws));
+        prop_assert_eq!(ws, legacy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Full seed-and-extend (both directions + seed prologue) is
+    /// bit-identical, over true overlapping windows of a random genome.
+    #[test]
+    fn seed_extension_matches_legacy(
+        genome in dna(60..220),
+        a_off in 0usize..20,
+        seed_rel in 0usize..20,
+        x in 1i32..60,
+    ) {
+        let k = 12usize;
+        prop_assume!(genome.len() >= a_off + seed_rel + k + 30);
+        let a: Vec<u8> = genome[a_off..].to_vec();
+        let b: Vec<u8> = genome[a_off + seed_rel..].to_vec();
+        let seed = SeedHit { a_pos: seed_rel, b_pos: 0, k };
+        let legacy = extend_seed(&a, &b, seed, S, x);
+        let ws = with_ws(|ws| extend_seed_with_workspace(&a, &b, seed, S, x, ws));
+        prop_assert_eq!(ws, legacy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Banded Smith-Waterman with caller-owned rows is bit-identical.
+    #[test]
+    fn banded_matches_legacy(
+        s in dna(0..150),
+        t in dna(0..150),
+        center in -20i64..20,
+        half_band in 1usize..40,
+    ) {
+        let legacy = banded_sw(&s, &t, center, half_band, S);
+        let ws = with_ws(|ws| banded_sw_with_workspace(&s, &t, center, half_band, S, ws));
+        prop_assert_eq!(ws, legacy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// Mixed call orders over one dirty workspace: each case interleaves
+    /// xdrop, banded and cigar kernels in an input-dependent order, and
+    /// every single result must match its legacy twin.
+    #[test]
+    fn mixed_call_orders_stay_identical(
+        s in dna(1..120),
+        t in dna(1..120),
+        x in 1i32..50,
+        order in 0u8..6,
+    ) {
+        // All legacy results first (fresh scratch each).
+        let legacy_x = extend_xdrop(&s, &t, S, x);
+        let legacy_b = banded_sw(&s, &t, 0, 16, S);
+        let legacy_c: (i32, Cigar) = global_alignment(&s, &t, S);
+
+        // Then the workspace twins, in one of six interleavings.
+        let (ws_x, ws_b, ws_c) = with_ws(|ws| {
+            let mut rx = None;
+            let mut rb = None;
+            let mut rc = None;
+            let seq: [usize; 3] = match order {
+                0 => [0, 1, 2],
+                1 => [0, 2, 1],
+                2 => [1, 0, 2],
+                3 => [1, 2, 0],
+                4 => [2, 0, 1],
+                _ => [2, 1, 0],
+            };
+            for op in seq {
+                match op {
+                    0 => rx = Some(extend_xdrop_with_workspace(&s, &t, S, x, ws)),
+                    1 => rb = Some(banded_sw_with_workspace(&s, &t, 0, 16, S, ws)),
+                    _ => rc = Some(global_alignment_with_workspace(&s, &t, S, ws)),
+                }
+            }
+            (rx.unwrap(), rb.unwrap(), rc.unwrap())
+        });
+        prop_assert_eq!(ws_x, legacy_x);
+        prop_assert_eq!(ws_b, legacy_b);
+        prop_assert_eq!(ws_c, legacy_c);
+    }
+}

@@ -4,7 +4,10 @@
 //! linear in L, and the DESIGN.md kernel-choice ablation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dibella_align::{banded_sw, extend_seed, extend_ungapped, extend_xdrop, smith_waterman, Scoring, SeedHit};
+use dibella_align::{
+    banded_sw, banded_sw_with_workspace, extend_seed, extend_seed_with_workspace, extend_ungapped,
+    extend_xdrop, extend_xdrop_with_workspace, smith_waterman, AlignWorkspace, Scoring, SeedHit,
+};
 use dibella_datagen::ErrorModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -41,6 +44,43 @@ fn bench_kernels(c: &mut Criterion) {
     });
     g.bench_function("full_sw", |bench| {
         bench.iter(|| black_box(smith_waterman(&a, &b, sc)))
+    });
+    g.finish();
+}
+
+/// Allocation-free workspace kernels vs their legacy allocating twins,
+/// reported in DP **cells/sec** (one element = one DP cell — the cost
+/// currency of the cross-architecture model). The same numbers are
+/// emitted as a tracked baseline by the `bench_kernels_json` binary
+/// (`BENCH_kernels.json`).
+fn bench_workspace_kernels(c: &mut Criterion) {
+    let (a, b) = noisy_pair(2_000, 0.15);
+    let sc = Scoring::bella();
+    let seed = SeedHit { a_pos: 800, b_pos: 800, k: 17 };
+    let mut ws = AlignWorkspace::new();
+
+    let mut g = c.benchmark_group("kernel_cells_per_sec");
+    g.sample_size(10);
+
+    let seed_cells = extend_seed_with_workspace(&a, &b, seed, sc, 25, &mut ws).cells;
+    g.throughput(Throughput::Elements(seed_cells));
+    g.bench_function("seed_xdrop_workspace_x25", |bench| {
+        bench.iter(|| black_box(extend_seed_with_workspace(&a, &b, seed, sc, 25, &mut ws)))
+    });
+    g.bench_function("seed_xdrop_legacy_x25", |bench| {
+        bench.iter(|| black_box(extend_seed(&a, &b, seed, sc, 25)))
+    });
+
+    let xdrop_cells = extend_xdrop_with_workspace(&a, &b, sc, 25, &mut ws).cells;
+    g.throughput(Throughput::Elements(xdrop_cells));
+    g.bench_function("xdrop_workspace_x25", |bench| {
+        bench.iter(|| black_box(extend_xdrop_with_workspace(&a, &b, sc, 25, &mut ws)))
+    });
+
+    let banded_cells = banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws).cells;
+    g.throughput(Throughput::Elements(banded_cells));
+    g.bench_function("banded_workspace_hb64", |bench| {
+        bench.iter(|| black_box(banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws)))
     });
     g.finish();
 }
@@ -104,6 +144,7 @@ fn bench_xdrop_divergent(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernels,
+    bench_workspace_kernels,
     bench_xdrop_ablation,
     bench_xdrop_scaling,
     bench_xdrop_divergent

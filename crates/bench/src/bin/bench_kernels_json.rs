@@ -1,0 +1,139 @@
+//! Kernel-throughput baseline writer: emits `BENCH_kernels.json`.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p dibella-bench --bin bench_kernels_json
+//! ```
+//!
+//! (optionally pass an output path as the first argument). The file
+//! records, for the allocation-free workspace kernels and their legacy
+//! allocating twins:
+//!
+//! * **cells/s** — DP cells per second, the cost currency of the
+//!   cross-architecture model, on a fixed 2 kb PacBio-like overlapping
+//!   pair;
+//! * **allocs/call** — heap allocations per kernel call measured by a
+//!   counting global allocator (0 for warmed workspace kernels; the
+//!   legacy − workspace difference is the `allocs_eliminated_per_call`
+//!   figure);
+//! * **task/s** of a 4-rank end-to-end pipeline on the sampled E. coli
+//!   30× workload — the number a perf regression in any stage moves.
+//!
+//! Perf PRs diff this file to leave a measurable trajectory; the numbers
+//! are machine-dependent, so compare ratios, not absolutes, across hosts.
+
+use dibella_align::{
+    banded_sw_with_workspace, extend_seed, extend_seed_with_workspace, AlignWorkspace, Scoring,
+    SeedHit,
+};
+use dibella_core::{run_pipeline, PipelineConfig};
+use dibella_datagen::{ecoli_30x_sample_like, ErrorModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const PAIR_LEN: usize = 2_000;
+const ERROR_RATE: f64 = 0.15;
+const XDROP_X: i32 = 25;
+const KERNEL_ITERS: u32 = 60;
+
+/// One measured kernel: run `iters` calls, return
+/// `(cells/s, allocs per call, cells per call)`.
+fn measure(iters: u32, cells_per_call: u64, mut call: impl FnMut()) -> (f64, f64, u64) {
+    // Warm-up (untimed, uncounted).
+    call();
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        call();
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
+    let cells_per_sec = (cells_per_call * iters as u64) as f64 / wall;
+    (cells_per_sec, allocs as f64 / iters as f64, cells_per_call)
+}
+
+fn kernel_json(name: &str, (cells_per_sec, allocs_per_call, cells_per_call): (f64, f64, u64)) -> String {
+    format!(
+        "    \"{name}\": {{ \"cells_per_call\": {cells_per_call}, \"cells_per_sec\": {cells_per_sec:.0}, \"allocs_per_call\": {allocs_per_call:.2} }}"
+    )
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".into());
+
+    // ---- fixed PacBio-like overlapping pair --------------------------------
+    let mut rng = StdRng::seed_from_u64(99);
+    let template: Vec<u8> = (0..PAIR_LEN).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect();
+    let model = ErrorModel::pacbio(ERROR_RATE);
+    let a = model.apply(&template, &mut rng);
+    let b = model.apply(&template, &mut rng);
+    let sc = Scoring::bella();
+    let seed = SeedHit { a_pos: 800, b_pos: 800, k: 17 };
+    let mut ws = AlignWorkspace::new();
+
+    let seed_cells = extend_seed_with_workspace(&a, &b, seed, sc, XDROP_X, &mut ws).cells;
+    let banded_cells = banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws).cells;
+
+    let seed_ws = measure(KERNEL_ITERS, seed_cells, || {
+        black_box(extend_seed_with_workspace(&a, &b, seed, sc, XDROP_X, &mut ws));
+    });
+    let seed_legacy = measure(KERNEL_ITERS, seed_cells, || {
+        black_box(extend_seed(&a, &b, seed, sc, XDROP_X));
+    });
+    let banded_ws = measure(KERNEL_ITERS, banded_cells, || {
+        black_box(banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws));
+    });
+
+    assert!(seed_ws.0 > 0.0, "workspace kernel measured zero throughput");
+    assert_eq!(seed_ws.1, 0.0, "warmed workspace kernel must not allocate");
+
+    // ---- 4-rank end-to-end pipeline ----------------------------------------
+    let ds = ecoli_30x_sample_like(0.004, 42);
+    let cfg = PipelineConfig { k: 17, max_seeds_per_pair: 4, ..Default::default() };
+    let t0 = Instant::now();
+    let res = run_pipeline(&ds.reads, 4, &cfg);
+    let pipe_wall = t0.elapsed().as_secs_f64();
+    let tasks: u64 = res.reports.iter().map(|r| r.align.tasks).sum();
+    let dp_cells: u64 = res.reports.iter().map(|r| r.align.dp_cells).sum();
+    let tasks_per_sec = tasks as f64 / pipe_wall;
+
+    let json = format!(
+        "{{\n  \"schema\": \"dibella-bench-kernels/1\",\n  \"pair_len\": {PAIR_LEN},\n  \"error_rate\": {ERROR_RATE},\n  \"xdrop_x\": {XDROP_X},\n  \"kernels\": {{\n{},\n{},\n{}\n  }},\n  \"allocs_eliminated_per_call\": {:.2},\n  \"workspace_scratch_bytes\": {},\n  \"pipeline_4rank\": {{ \"ranks\": 4, \"tasks\": {tasks}, \"dp_cells\": {dp_cells}, \"wall_s\": {pipe_wall:.3}, \"tasks_per_sec\": {tasks_per_sec:.1} }}\n}}\n",
+        kernel_json("seed_xdrop_workspace", seed_ws),
+        kernel_json("seed_xdrop_legacy", seed_legacy),
+        kernel_json("banded_workspace", banded_ws),
+        seed_legacy.1 - seed_ws.1,
+        ws.scratch_bytes(),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

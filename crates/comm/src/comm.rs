@@ -139,11 +139,13 @@ impl Comm {
     pub fn allgather<T: Send + Clone + 'static>(&self, value: T) -> Vec<T> {
         self.stats.borrow_mut().dense_collectives += 1;
         let t0 = Instant::now();
-        // Deposit into our own row once per destination; cloning P times is
-        // the cost MPI pays for the broadcast tree, flattened.
-        for dst in 0..self.size {
+        // Deposit into our own row once per destination; cloning P−1 times
+        // is the cost MPI pays for the broadcast tree, flattened — the last
+        // destination takes the original by move.
+        for dst in 0..self.size - 1 {
             self.transport.put(self.rank, dst, Box::new(value.clone()));
         }
+        self.transport.put(self.rank, self.size - 1, Box::new(value));
         self.transport.wait();
         let out: Vec<T> = (0..self.size).map(|src| self.recv::<T>(src)).collect();
         self.transport.wait();
@@ -196,9 +198,12 @@ impl Comm {
         let t0 = Instant::now();
         if self.rank == root {
             let v = value.expect("root must supply the broadcast value");
-            for dst in 0..self.size {
+            // Clone for all but the last destination; move the original
+            // into the last — one fewer deep copy per broadcast.
+            for dst in 0..self.size - 1 {
                 self.transport.put(self.rank, dst, Box::new(v.clone()));
             }
+            self.transport.put(self.rank, self.size - 1, Box::new(v));
         }
         self.transport.wait();
         let out: T = self.recv(root);

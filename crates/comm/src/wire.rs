@@ -91,11 +91,20 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
 }
 
 /// Encode a slice of records into one contiguous buffer.
+///
+/// The output is pre-sized to exactly `items.len() * T::SIZE`, so hot-path
+/// packing never reallocates mid-encode; a `Wire` impl writing a different
+/// number of bytes than its declared `SIZE` is caught in debug builds.
 pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
     let mut out = Vec::with_capacity(items.len() * T::SIZE);
     for item in items {
         item.write(&mut out);
     }
+    debug_assert_eq!(
+        out.len(),
+        items.len() * T::SIZE,
+        "Wire impl wrote a different byte count than its declared SIZE"
+    );
     out
 }
 

@@ -22,14 +22,25 @@
 
 use crate::config::PipelineConfig;
 use crate::record::AlignmentRecord;
-use dibella_align::{extend_seed, SeedHit};
+use dibella_align::{extend_seed_with_workspace, AlignWorkspace, SeedHit};
 use dibella_comm::{decode_vec, encode_slice, Comm};
 use dibella_io::{ReadId, ReadStore};
-use dibella_kmer::base::reverse_complement_ascii;
+use dibella_kmer::base::reverse_complement_ascii_into;
 use dibella_overlap::OverlapTask;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use std::cell::RefCell;
 use std::collections::HashSet;
+
+thread_local! {
+    /// One [`AlignWorkspace`] per OS thread, shared by every batch that
+    /// thread processes (and, on the sequential path, by every
+    /// [`align_tasks`] call in the rank's lifetime). The kernels fully
+    /// re-initialize what they read, so dirty reuse is safe and the
+    /// steady-state alignment loop performs zero heap allocations per
+    /// task — see `docs/ARCHITECTURE.md` § "Hot path & memory discipline".
+    static WORKSPACE: RefCell<AlignWorkspace> = RefCell::new(AlignWorkspace::new());
+}
 
 /// Tasks per batch in the parallel alignment executor. Fixed (not derived
 /// from the thread count) so the sharding — and therefore the merged
@@ -132,16 +143,19 @@ pub fn fetch_remote_reads(
     let replies = comm.alltoallv_bytes(reply_bufs);
 
     // ---- install replicated reads ------------------------------------------
+    // All sequences land in the store's single arena; reserving the total
+    // reply volume up front (a slight over-estimate: it includes the 8-byte
+    // record headers) makes the install loop reallocation-free.
+    store.reserve_replicated(replies.iter().map(Vec::len).sum());
     for buf in replies {
         let mut at = 0usize;
         while at < buf.len() {
             let id = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
             let len = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()) as usize;
             at += 8;
-            let seq = buf[at..at + len].to_vec();
-            at += len;
             counters.read_bytes_fetched += len as u64;
-            store.insert_replicated(id, seq);
+            store.insert_replicated(id, &buf[at..at + len]);
+            at += len;
         }
     }
 }
@@ -191,6 +205,10 @@ pub fn align_tasks(
 /// Align one batch of tasks sequentially — the per-worker unit of
 /// [`align_tasks`]. Returns the batch's records (task order) and its
 /// isolated counters.
+///
+/// All kernel scratch comes from this thread's [`WORKSPACE`], so the
+/// per-task steady state allocates only when a record is accepted into
+/// the output vector.
 fn align_batch(
     store: &ReadStore,
     tasks: &[OverlapTask],
@@ -199,42 +217,54 @@ fn align_batch(
     let mut counters = AlignCounters::default();
     let mut out = Vec::new();
     let k = cfg.k;
-    for task in tasks {
-        counters.tasks += 1;
-        let a_seq = store
-            .seq(task.pair.a)
-            .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.a));
-        let b_seq = store
-            .seq(task.pair.b)
-            .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.b));
-        // Oriented copy of b, built at most once per task.
-        let mut b_rc: Option<Vec<u8>> = None;
-        for seed in &task.seeds {
-            let (b_oriented, b_pos): (&[u8], usize) = if seed.reverse {
-                let rc = b_rc.get_or_insert_with(|| reverse_complement_ascii(b_seq));
-                (rc.as_slice(), b_seq.len() - k - seed.b_pos as usize)
-            } else {
-                (b_seq, seed.b_pos as usize)
-            };
-            let hit = SeedHit { a_pos: seed.a_pos as usize, b_pos, k };
-            let al = extend_seed(a_seq, b_oriented, hit, cfg.scoring, cfg.xdrop);
-            counters.alignments += 1;
-            counters.dp_cells += al.cells;
-            if al.score >= cfg.min_align_score {
-                counters.accepted += 1;
-                out.push(AlignmentRecord {
-                    pair: task.pair,
-                    reverse: seed.reverse,
-                    score: al.score,
-                    a_start: al.a_start as u32,
-                    a_end: al.a_end as u32,
-                    b_start: al.b_start as u32,
-                    b_end: al.b_end as u32,
-                    cells: al.cells,
-                });
+    WORKSPACE.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        // Detach the reverse-complement buffer so the kernels can borrow
+        // `ws` mutably while an oriented `b` borrows the buffer (a move,
+        // not an allocation); reattached after the batch.
+        let mut rc = std::mem::take(&mut ws.rc);
+        for task in tasks {
+            counters.tasks += 1;
+            let a_seq = store
+                .seq(task.pair.a)
+                .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.a));
+            let b_seq = store
+                .seq(task.pair.b)
+                .unwrap_or_else(|| panic!("read {} unavailable for alignment", task.pair.b));
+            // Orientation of b, computed at most once per task, into the
+            // reusable buffer.
+            let mut rc_filled = false;
+            for seed in &task.seeds {
+                let (b_oriented, b_pos): (&[u8], usize) = if seed.reverse {
+                    if !rc_filled {
+                        reverse_complement_ascii_into(b_seq, &mut rc);
+                        rc_filled = true;
+                    }
+                    (rc.as_slice(), b_seq.len() - k - seed.b_pos as usize)
+                } else {
+                    (b_seq, seed.b_pos as usize)
+                };
+                let hit = SeedHit { a_pos: seed.a_pos as usize, b_pos, k };
+                let al = extend_seed_with_workspace(a_seq, b_oriented, hit, cfg.scoring, cfg.xdrop, ws);
+                counters.alignments += 1;
+                counters.dp_cells += al.cells;
+                if al.score >= cfg.min_align_score {
+                    counters.accepted += 1;
+                    out.push(AlignmentRecord {
+                        pair: task.pair,
+                        reverse: seed.reverse,
+                        score: al.score,
+                        a_start: al.a_start as u32,
+                        a_end: al.a_end as u32,
+                        b_start: al.b_start as u32,
+                        b_end: al.b_end as u32,
+                        cells: al.cells,
+                    });
+                }
             }
         }
-    }
+        ws.rc = rc;
+    });
     (out, counters)
 }
 
@@ -347,7 +377,7 @@ mod tests {
         };
         let template: Vec<u8> = (0..80).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
         let a = template.clone();
-        let b = reverse_complement_ascii(&template);
+        let b = dibella_kmer::base::reverse_complement_ascii(&template);
         // Canonical k-mer of a[20..37]: find its position in b's forward
         // coords: the window maps to b[80-37 .. 80-20] = b[43..60].
         let reads: ReadSet = vec![Read::new(0, "a", a.clone()), Read::new(1, "b", b.clone())]

@@ -17,8 +17,13 @@ pub struct ReadStore {
     partition: ReadPartition,
     /// Reads owned by this rank, indexed by `id - first_local_id`.
     local: Vec<Read>,
-    /// Remote reads replicated here for alignment (id → sequence).
-    replicated: HashMap<ReadId, Vec<u8>>,
+    /// Remote read bytes replicated here for alignment, packed into one
+    /// per-rank arena (one allocation pool instead of one `Vec` per
+    /// fetched read — the alignment stage installs thousands of remote
+    /// reads back-to-back).
+    arena: Vec<u8>,
+    /// Remote read index: id → `(offset, len)` into [`Self::arena`].
+    replicated: HashMap<ReadId, (usize, usize)>,
 }
 
 impl ReadStore {
@@ -49,6 +54,7 @@ impl ReadStore {
             rank,
             partition,
             local,
+            arena: Vec::new(),
             replicated: HashMap::new(),
         }
     }
@@ -100,19 +106,33 @@ impl ReadStore {
     /// Sequence of any read available on this rank (owned or replicated).
     pub fn seq(&self, id: ReadId) -> Option<&[u8]> {
         self.local_seq(id)
-            .or_else(|| self.replicated.get(&id).map(|v| v.as_slice()))
+            .or_else(|| self.replicated.get(&id).map(|&(off, len)| &self.arena[off..off + len]))
     }
 
     /// Record a replicated remote read (from the alignment-stage read
-    /// exchange). Replicating a read this rank already owns is a no-op.
-    pub fn insert_replicated(&mut self, id: ReadId, seq: Vec<u8>) {
-        if !self.is_local(id) {
-            self.replicated.insert(id, seq);
+    /// exchange): the bytes are appended to the per-rank arena, not boxed
+    /// into their own allocation. Replicating a read this rank already
+    /// owns — or one already replicated — is a no-op.
+    pub fn insert_replicated(&mut self, id: ReadId, seq: &[u8]) {
+        if self.is_local(id) || self.replicated.contains_key(&id) {
+            return;
         }
+        let off = self.arena.len();
+        self.arena.extend_from_slice(seq);
+        self.replicated.insert(id, (off, seq.len()));
+    }
+
+    /// Pre-size the replication arena for `additional` incoming sequence
+    /// bytes (an upper bound is fine), so a burst of
+    /// [`Self::insert_replicated`] calls never reallocates mid-install.
+    pub fn reserve_replicated(&mut self, additional: usize) {
+        self.arena.reserve(additional);
     }
 
     /// Drop all replicated reads (frees alignment-stage memory).
     pub fn clear_replicated(&mut self) {
+        self.arena.clear();
+        self.arena.shrink_to_fit();
         self.replicated.clear();
         self.replicated.shrink_to_fit();
     }
@@ -121,8 +141,7 @@ impl ReadStore {
     /// footprint the paper's streaming design constrains.
     pub fn resident_bytes(&self) -> u64 {
         let owned: u64 = self.local.iter().map(|r| r.len() as u64).sum();
-        let repl: u64 = self.replicated.values().map(|s| s.len() as u64).sum();
-        owned + repl
+        owned + self.arena.len() as u64
     }
 }
 
@@ -187,12 +206,15 @@ mod tests {
         let remote_id = s1.local_reads()[0].id;
         let seq = s1.local_seq(remote_id).unwrap().to_vec();
         assert!(s0.seq(remote_id).is_none());
-        s0.insert_replicated(remote_id, seq.clone());
+        s0.insert_replicated(remote_id, &seq);
         assert_eq!(s0.seq(remote_id).unwrap(), seq.as_slice());
         assert_eq!(s0.n_replicated(), 1);
+        // Re-replicating an already-installed read is ignored.
+        s0.insert_replicated(remote_id, b"YYY");
+        assert_eq!(s0.seq(remote_id).unwrap(), seq.as_slice());
         // Replicating an owned read is ignored.
         let own_id = s0.local_reads()[0].id;
-        s0.insert_replicated(own_id, b"XXX".to_vec());
+        s0.insert_replicated(own_id, b"XXX");
         assert_ne!(s0.seq(own_id).unwrap(), b"XXX");
         // Clearing frees the cache but keeps owned reads.
         s0.clear_replicated();
@@ -205,7 +227,7 @@ mod tests {
     fn resident_bytes_tracks_replication() {
         let mut stores = build_stores(6, 3);
         let base = stores[0].resident_bytes();
-        stores[0].insert_replicated(5, vec![b'A'; 100]);
+        stores[0].insert_replicated(5, &[b'A'; 100]);
         assert_eq!(stores[0].resident_bytes(), base + 100);
     }
 

@@ -69,7 +69,18 @@ pub fn complement_ascii(b: u8) -> u8 {
 
 /// Reverse-complement an ASCII sequence into a new vector.
 pub fn reverse_complement_ascii(seq: &[u8]) -> Vec<u8> {
-    seq.iter().rev().map(|&b| complement_ascii(b)).collect()
+    let mut out = Vec::new();
+    reverse_complement_ascii_into(seq, &mut out);
+    out
+}
+
+/// Reverse-complement an ASCII sequence into a caller-owned buffer
+/// (cleared first). Allocation-free once `out` has capacity for the
+/// longest sequence seen — the hot-path form the alignment stage uses to
+/// orient reads without a per-task allocation.
+pub fn reverse_complement_ascii_into(seq: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(seq.iter().rev().map(|&b| complement_ascii(b)));
 }
 
 /// Returns `true` if every byte of `seq` is an unambiguous nucleotide.

@@ -97,6 +97,7 @@ fn bench_hash_table(c: &mut Criterion) {
         bloom_fp_rate: 0.05,
         expected_distinct: 50_000,
         max_kmers_per_round: 1 << 20,
+        max_exchange_bytes_per_round: usize::MAX,
     };
     let mut g = c.benchmark_group("hash_table");
     g.sample_size(20);

@@ -1,0 +1,96 @@
+//! End-to-end pipeline baseline writer: emits `BENCH_pipeline.json`.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p dibella-bench --bin bench_pipeline_json
+//! ```
+//!
+//! (optionally pass an output path as the first argument). The file
+//! records one full 4-rank pipeline run on the fixed sampled E. coli 30×
+//! workload: per stage, the slowest rank's wall and exchange seconds, the
+//! executed streaming-exchange rounds, the total bytes shipped and the
+//! largest single-round send volume (`CommStats::peak_round_bytes` — the
+//! figure `--round-mb` / `DIBELLA_ROUND_MB` bounds), plus whole-pipeline
+//! wall and alignment counts.
+//!
+//! Perf PRs diff this file to leave a measurable end-to-end trajectory;
+//! wall seconds are machine-dependent (compare ratios across hosts), while
+//! rounds, bytes and peaks are exact and must only move when the exchange
+//! engine or the workload does. The usual knobs apply: `DIBELLA_SCALE`,
+//! `DIBELLA_TRANSPORT`, `DIBELLA_ALIGN_THREADS` and `DIBELLA_ROUND_MB`.
+
+use dibella_bench::{config_for, dataset, Workload};
+use dibella_core::{run_pipeline, RankReport};
+use dibella_overlap::SeedPolicy;
+use std::time::Instant;
+
+const RANKS: usize = 4;
+
+/// One stage's aggregate: `(name, wall_s_max, exchange_s_max, rounds_max,
+/// bytes_total, peak_round_bytes_max)`.
+fn stage_rows(reports: &[RankReport]) -> Vec<(&'static str, f64, f64, u64, u64, u64)> {
+    ["bloom", "hash", "overlap", "align"]
+        .into_iter()
+        .enumerate()
+        .map(|(si, name)| {
+            let mut wall_max = 0.0f64;
+            let mut exch_max = 0.0f64;
+            let (mut rounds_max, mut bytes, mut peak) = (0u64, 0u64, 0u64);
+            for r in reports {
+                let (timing, comm, rounds) = match si {
+                    0 => (r.bloom_wall, &r.bloom_comm, r.bloom.rounds),
+                    1 => (r.hash_wall, &r.hash_comm, r.hash.rounds),
+                    2 => (r.overlap_wall, &r.overlap_comm, r.overlap.rounds),
+                    _ => (r.align_wall, &r.align_comm, r.align.rounds),
+                };
+                wall_max = wall_max.max(timing.total.as_secs_f64());
+                exch_max = exch_max.max(timing.exchange.as_secs_f64());
+                rounds_max = rounds_max.max(rounds);
+                bytes += comm.total_bytes();
+                peak = peak.max(comm.peak_round_bytes);
+            }
+            (name, wall_max, exch_max, rounds_max, bytes, peak)
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".into());
+
+    let workload = Workload::E30Sample;
+    let ds = dataset(workload);
+    let cfg = config_for(workload, SeedPolicy::Single);
+    let t0 = Instant::now();
+    let res = run_pipeline(&ds.reads, RANKS, &cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let rows = stage_rows(&res.reports);
+    let round_cap = if cfg.max_exchange_bytes_per_round == usize::MAX {
+        "null".to_owned()
+    } else {
+        cfg.max_exchange_bytes_per_round.to_string()
+    };
+    let stages: Vec<String> = rows
+        .iter()
+        .map(|(name, wall, exch, rounds, bytes, peak)| {
+            format!(
+                "    \"{name}\": {{ \"wall_s_max\": {wall:.6}, \"exchange_s_max\": {exch:.6}, \"rounds\": {rounds}, \"bytes_total\": {bytes}, \"peak_round_bytes_max\": {peak} }}"
+            )
+        })
+        .collect();
+    let alignments: u64 = res.n_alignments_computed();
+    let json = format!(
+        "{{\n  \"schema\": \"dibella-pipeline-baseline/1\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {},\n  \"ranks\": {RANKS},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"stages\": {{\n{}\n  }},\n  \"pipeline\": {{ \"wall_s\": {elapsed:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {alignments}, \"pairs\": {} }}\n}}\n",
+        workload.name(),
+        ds.reads.len(),
+        ds.reads.total_bases(),
+        cfg.transport,
+        stages.join(",\n"),
+        res.wall().as_secs_f64(),
+        res.n_pairs(),
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    eprintln!("wrote {out_path}:");
+    print!("{json}");
+}

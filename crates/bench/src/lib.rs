@@ -17,6 +17,9 @@
 //! communication backend: under `sim:*` the pipeline executes on a
 //! modeled interconnect — counters and alignments are unchanged, but the
 //! recorded `exchange_wall` is the virtual platform's.
+//! `DIBELLA_ROUND_MB` caps every stage's streaming-exchange rounds at
+//! that many MiB per rank (unset = unbounded); alignments and byte
+//! totals are bit-identical at every cap.
 
 #![warn(missing_docs)]
 
@@ -90,6 +93,25 @@ pub fn env_transport() -> TransportKind {
     }
 }
 
+/// The `DIBELLA_ROUND_MB` environment knob: the per-rank, per-round byte
+/// cap of the streaming exchange engine, in MiB (fractions allowed; see
+/// [`dibella_core::PipelineConfig::max_exchange_bytes_per_round`]).
+/// Unset = unbounded (one monolithic exchange per stage). Invalid values
+/// abort loudly rather than silently benchmarking the wrong rounds.
+pub fn env_round_bytes() -> usize {
+    match std::env::var("DIBELLA_ROUND_MB") {
+        Err(_) => usize::MAX,
+        Ok(v) => {
+            let mb: f64 = v
+                .parse()
+                .ok()
+                .filter(|&m| m > 0.0)
+                .unwrap_or_else(|| panic!("DIBELLA_ROUND_MB: invalid value {v:?} (positive MiB)"));
+            (mb * (1 << 20) as f64) as usize
+        }
+    }
+}
+
 /// Construct a workload's synthetic dataset at the bench scale.
 pub fn dataset(w: Workload) -> SyntheticDataset {
     match w {
@@ -113,6 +135,7 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         max_seeds_per_pair: 4,
         align_threads: env_align_threads(),
         transport: env_transport(),
+        max_exchange_bytes_per_round: env_round_bytes(),
         ..Default::default()
     }
 }
@@ -246,6 +269,22 @@ mod tests {
         assert_eq!(config_for(Workload::E30, SeedPolicy::Single).transport, kind);
         std::env::remove_var("DIBELLA_TRANSPORT");
         assert_eq!(env_transport(), TransportKind::SharedMem);
+    }
+
+    #[test]
+    fn round_mb_env_knob() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DIBELLA_ROUND_MB", "2");
+        assert_eq!(env_round_bytes(), 2 << 20);
+        assert_eq!(
+            config_for(Workload::E30, SeedPolicy::Single).max_exchange_bytes_per_round,
+            2 << 20
+        );
+        // Fractional MiB are allowed (tiny caps for the multi-round path).
+        std::env::set_var("DIBELLA_ROUND_MB", "0.5");
+        assert_eq!(env_round_bytes(), 1 << 19);
+        std::env::remove_var("DIBELLA_ROUND_MB");
+        assert_eq!(env_round_bytes(), usize::MAX);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! usual MPI contract; violations panic via the hub's slot checks.
 
 use crate::stats::CommStats;
-use crate::transport::{Collective, Transport};
+use crate::transport::{Collective, InFlight, Transport};
 use std::cell::RefCell;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Communicator handle owned by one rank's thread.
 ///
@@ -111,9 +111,55 @@ impl Comm {
     }
 
     /// Byte-buffer variant of [`Self::alltoallv`] — the wire-level form the
-    /// pipeline's packed messages use.
+    /// pipeline's packed messages use. Implemented as an immediately-waited
+    /// split exchange, so blocking and streaming call sites share one code
+    /// path (and identical traffic accounting).
     pub fn alltoallv_bytes(&self, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
-        self.alltoallv(send)
+        let pending = self.exchange_start(send);
+        self.exchange_wait(pending)
+    }
+
+    /// Begin a non-blocking irregular byte exchange: `send[d]` goes to
+    /// rank `d`. Traffic counters are recorded immediately; the payloads
+    /// move on a transport helper while this rank keeps computing.
+    ///
+    /// SPMD contract, extended to split collectives: every rank starts the
+    /// same exchanges in the same order, at most one exchange is in flight
+    /// per rank, and no other collective may be issued between
+    /// `exchange_start` and the matching [`Self::exchange_wait`] /
+    /// [`Self::exchange_wait_overlapped`] — the gap is for packing the
+    /// next round, which is exactly what [`crate::RoundExchange`] does.
+    ///
+    /// # Panics
+    /// Panics if `send.len() != size()`.
+    pub fn exchange_start(&self, send: Vec<Vec<u8>>) -> InFlight {
+        assert_eq!(send.len(), self.size, "exchange needs one buffer per rank");
+        self.stats
+            .borrow_mut()
+            .record_exchange(send.iter().map(Vec::len));
+        self.transport.exchange_start(self.rank, send)
+    }
+
+    /// Finish an exchange begun by [`Self::exchange_start`], charging the
+    /// backend's wall time with no declared overlap.
+    pub fn exchange_wait(&self, pending: InFlight) -> Vec<Vec<u8>> {
+        self.exchange_wait_overlapped(pending, Duration::ZERO)
+    }
+
+    /// Finish an exchange begun by [`Self::exchange_start`]. `overlapped`
+    /// is the compute time this rank spent while the exchange was in
+    /// flight (the next round's packing); real transports ignore it —
+    /// their measured wall already ran concurrently — while simulated ones
+    /// charge `max(overlapped, modeled)` per round so projections stay
+    /// honest about what overlap can and cannot hide.
+    pub fn exchange_wait_overlapped(
+        &self,
+        pending: InFlight,
+        overlapped: Duration,
+    ) -> Vec<Vec<u8>> {
+        let (recv, wall) = self.transport.exchange_wait(self.rank, pending, overlapped);
+        self.stats.borrow_mut().exchange_wall += wall;
+        recv
     }
 
     /// Dense all-to-all of one fixed-size value per destination (the

@@ -30,13 +30,17 @@
 
 mod comm;
 mod hub;
+pub mod round_exchange;
 pub mod stats;
 pub mod transport;
 pub mod wire;
 mod world;
 
 pub use comm::Comm;
+pub use round_exchange::{records_per_round, ByteRounds, RoundExchange, RoundPlan};
 pub use stats::CommStats;
-pub use transport::{Collective, SharedMem, SimNet, SimNetConfig, Transport, TransportKind};
+pub use transport::{
+    Collective, InFlight, SharedMem, SimNet, SimNetConfig, Transport, TransportKind,
+};
 pub use wire::{decode_iter, decode_vec, encode_slice, Wire};
 pub use world::CommWorld;

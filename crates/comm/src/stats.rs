@@ -25,6 +25,13 @@ pub struct CommStats {
     pub dense_collectives: u64,
     /// Number of bare barriers.
     pub barriers: u64,
+    /// High-water mark over all irregular exchanges of the bytes this rank
+    /// sent in one exchange round (sum over destinations of a single
+    /// call). This is the per-rank send-buffer footprint a streaming,
+    /// round-capped stage actually holds at once — the number
+    /// `PipelineConfig::max_exchange_bytes_per_round` bounds (up to one
+    /// record of slack, since records never split across rounds).
+    pub peak_round_bytes: u64,
     /// Wall-clock time spent inside collective calls (meaningful when the
     /// host is not oversubscribed; the figure harness uses byte counts
     /// instead).
@@ -92,17 +99,21 @@ impl CommStats {
         self.alltoallv_calls += other.alltoallv_calls;
         self.dense_collectives += other.dense_collectives;
         self.barriers += other.barriers;
+        self.peak_round_bytes = self.peak_round_bytes.max(other.peak_round_bytes);
         self.exchange_wall += other.exchange_wall;
     }
 
     pub(crate) fn record_exchange(&mut self, sizes: impl Iterator<Item = usize>) {
+        let mut round_bytes = 0u64;
         for (d, s) in sizes.enumerate() {
             self.dest_bytes[d] += s as u64;
+            round_bytes += s as u64;
             if s > 0 {
                 self.dest_msgs[d] += 1;
             }
         }
         self.alltoallv_calls += 1;
+        self.peak_round_bytes = self.peak_round_bytes.max(round_bytes);
     }
 }
 
@@ -118,6 +129,18 @@ mod tests {
         assert_eq!(s.total_msgs(), 3);
         assert_eq!(s.remote_bytes(0), 8);
         assert_eq!(s.alltoallv_calls, 1);
+        assert_eq!(s.peak_round_bytes, 18);
+    }
+
+    #[test]
+    fn peak_round_bytes_is_a_high_water_mark() {
+        let mut s = CommStats::new(2);
+        s.record_exchange([4usize, 4].into_iter());
+        s.record_exchange([100usize, 0].into_iter());
+        s.record_exchange([1usize, 1].into_iter());
+        // Totals accumulate, the peak tracks the largest single round.
+        assert_eq!(s.total_bytes(), 110);
+        assert_eq!(s.peak_round_bytes, 100);
     }
 
     #[test]
@@ -142,5 +165,7 @@ mod tests {
         assert_eq!(a.dest_msgs, vec![2, 1]);
         assert_eq!(a.alltoallv_calls, 2);
         assert_eq!(a.barriers, 3);
+        // The peak is the max across the merged stats, not a sum.
+        assert_eq!(a.peak_round_bytes, 10);
     }
 }

@@ -22,13 +22,15 @@
 
 use crate::hub::Hub;
 use dibella_netmodel::{
-    collective_latency_s, exchange_transfer_s, first_alltoallv_setup_s, Platform, PlatformId,
+    collective_latency_s, exchange_transfer_s, first_alltoallv_setup_s, overlapped_round_s,
+    Platform, PlatformId,
 };
 use parking_lot::Mutex;
 use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// One completed collective, as described to a transport backend when the
 /// communicator asks what wall time to charge for it.
@@ -45,13 +47,71 @@ pub enum Collective<'a> {
     Dense,
 }
 
+/// Result a split exchange's helper delivers: either the received buffers
+/// plus the wall time the backend charges, or the helper's panic payload
+/// (re-raised on the waiting rank thread so mismatched-collective bugs
+/// surface with their original message).
+type ExchangeResult = Result<(Vec<Vec<u8>>, Duration), Box<dyn Any + Send>>;
+
+/// Handle to an irregular byte exchange started with
+/// [`Transport::exchange_start`] and finished with
+/// [`Transport::exchange_wait`].
+///
+/// Backend-agnostic: the backend's helper task (a thread off the rayon
+/// pool) performs the actual slot traffic and sends the result through
+/// this handle's channel, so the owning rank thread is free to pack the
+/// next round while the exchange is in flight.
+pub struct InFlight {
+    rx: mpsc::Receiver<ExchangeResult>,
+}
+
+impl InFlight {
+    /// Block until the helper finishes; re-raise its panic if it died.
+    fn finish(self) -> (Vec<Vec<u8>>, Duration) {
+        match self
+            .rx
+            .recv()
+            .expect("exchange helper thread vanished without a result")
+        {
+            Ok(out) => out,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// Take the `(src → dst)` deposit of a byte exchange and restore its type.
+fn take_bytes(hub: &Hub, src: usize, dst: usize) -> Vec<u8> {
+    *hub.take(src, dst)
+        .downcast::<Vec<u8>>()
+        .unwrap_or_else(|_| panic!("slot ({src},{dst}) holds unexpected type"))
+}
+
+/// Run one full irregular byte exchange for `rank` over `hub`: deposit the
+/// per-destination buffers, rendezvous, drain this rank's column, and
+/// rendezvous again so slots can be reused. This is the body every split
+/// exchange's helper executes.
+fn exchange_on_hub(hub: &Hub, rank: usize, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+    let p = hub.size();
+    for (dst, buf) in send.into_iter().enumerate() {
+        hub.put(rank, dst, Box::new(buf));
+    }
+    hub.wait();
+    let recv: Vec<Vec<u8>> = (0..p).map(|src| take_bytes(hub, src, rank)).collect();
+    hub.wait();
+    recv
+}
+
 /// A communication backend: the exchange primitives the collectives in
 /// [`crate::Comm`] are written against, plus a timing policy.
 ///
 /// Contract (the usual SPMD one): every rank of the world calls the same
 /// collectives in the same order, so backends may synchronize internally —
 /// [`Transport::collective_wall`] in particular is called by all ranks for
-/// the same operation and may itself use barriers.
+/// the same operation and may itself use barriers. The split
+/// [`Transport::exchange_start`]/[`Transport::exchange_wait`] pair extends
+/// that contract: at most one exchange may be in flight per rank, and no
+/// other collective may be issued by that rank between the start and the
+/// matching wait (packing local buffers is exactly what the gap is for).
 pub trait Transport: Send + Sync {
     /// World size.
     fn size(&self) -> usize;
@@ -74,19 +134,41 @@ pub trait Transport: Send + Sync {
     /// real backends return it, simulated ones replace it with the
     /// modeled cost.
     fn collective_wall(&self, rank: usize, op: Collective<'_>, elapsed: Duration) -> Duration;
+
+    /// Begin a non-blocking irregular byte exchange: `send[d]` goes to
+    /// rank `d`. The traffic moves on a helper task so the caller can
+    /// keep computing (packing the next round) until the matching
+    /// [`Transport::exchange_wait`].
+    fn exchange_start(&self, rank: usize, send: Vec<Vec<u8>>) -> InFlight;
+
+    /// Finish an exchange begun by [`Transport::exchange_start`]: return
+    /// the buffers received from every source rank (indexed by source)
+    /// and the wall time to charge for the exchange. `overlapped` is how
+    /// long the caller spent computing while the exchange was in flight —
+    /// real backends ignore it (their measured time already ran
+    /// concurrently with that work), simulated ones charge
+    /// `max(overlapped, modeled)` so a modeled exchange can hide behind
+    /// packing but never make a round cheaper than its compute.
+    fn exchange_wait(&self, rank: usize, pending: InFlight, overlapped: Duration)
+        -> (Vec<Vec<u8>>, Duration);
 }
 
 /// The real shared-memory backend: collectives execute through the hub's
 /// slot matrix and wall time is the measured host time. This is the exact
 /// behavior the communicator had before the transport layer existed.
+///
+/// Split exchanges overlap for real: the slot traffic runs on a helper
+/// thread off the rayon pool while the rank thread keeps packing, so
+/// communication/computation overlap is genuine host concurrency, not an
+/// accounting fiction.
 pub struct SharedMem {
-    hub: Hub,
+    hub: Arc<Hub>,
 }
 
 impl SharedMem {
     /// A shared-memory world of `p` ranks.
     pub fn new(p: usize) -> Self {
-        Self { hub: Hub::new(p) }
+        Self { hub: Arc::new(Hub::new(p)) }
     }
 }
 
@@ -110,6 +192,33 @@ impl Transport for SharedMem {
     fn collective_wall(&self, _rank: usize, _op: Collective<'_>, elapsed: Duration) -> Duration {
         elapsed
     }
+
+    fn exchange_start(&self, rank: usize, send: Vec<Vec<u8>>) -> InFlight {
+        let hub = Arc::clone(&self.hub);
+        let (tx, rx) = mpsc::channel();
+        let t0 = Instant::now();
+        rayon::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let recv = exchange_on_hub(&hub, rank, send);
+                (recv, t0.elapsed())
+            }));
+            // The receiver only disappears if the rank thread is already
+            // unwinding; dropping the result is then the right thing.
+            let _ = tx.send(result);
+        });
+        InFlight { rx }
+    }
+
+    fn exchange_wait(
+        &self,
+        _rank: usize,
+        pending: InFlight,
+        _overlapped: Duration,
+    ) -> (Vec<Vec<u8>>, Duration) {
+        // The measured helper time already ran concurrently with whatever
+        // the rank thread did in the gap; report it as-is.
+        pending.finish()
+    }
 }
 
 /// Configuration of the simulated-network backend: which platform's
@@ -130,6 +239,12 @@ pub struct SimNetConfig {
 /// run executed on that machine's interconnect.
 pub struct SimNet {
     inner: SharedMem,
+    model: Arc<SimModel>,
+}
+
+/// The modeled-cost state of a [`SimNet`] world, shared with in-flight
+/// exchange helpers (hence the `Arc`).
+struct SimModel {
     platform: &'static Platform,
     ranks_per_node: usize,
     /// Per-rank flag: has this rank charged the job's first-`Alltoallv`
@@ -142,6 +257,45 @@ pub struct SimNet {
     rows: Vec<Mutex<Vec<u64>>>,
 }
 
+impl SimModel {
+    fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Modeled wall of one irregular exchange whose per-destination send
+    /// volumes on this rank are `dest_bytes`. Synchronizes twice on `hub`
+    /// (publish rows / rows-reusable) to aggregate the whole node's
+    /// traffic exactly as `dibella_netmodel::stage_cost` does, so it must
+    /// be reached by every rank of the world for the same call — either
+    /// on the rank threads (blocking collectives) or on the per-rank
+    /// exchange helpers (split collectives).
+    fn alltoallv_wall(&self, hub: &Hub, rank: usize, dest_bytes: &[u64]) -> Duration {
+        let p = hub.size();
+        let latency = collective_latency_s(self.platform, p);
+        *self.rows[rank].lock() = dest_bytes.to_vec();
+        hub.wait();
+        let home = self.node_of(rank);
+        let (mut on, mut off) = (0u64, 0u64);
+        for src in (0..p).filter(|&r| self.node_of(r) == home) {
+            for (dst, &b) in self.rows[src].lock().iter().enumerate() {
+                if self.node_of(dst) == home {
+                    on += b;
+                } else {
+                    off += b;
+                }
+            }
+        }
+        hub.wait(); // rows may be reused after this point
+        let base = latency + exchange_transfer_s(self.platform, on, off);
+        let setup = if !self.first_done[rank].swap(true, Ordering::Relaxed) {
+            first_alltoallv_setup_s(self.platform, p, base)
+        } else {
+            0.0
+        };
+        Duration::from_secs_f64(base + setup)
+    }
+}
+
 impl SimNet {
     /// A simulated world of `p` ranks on `cfg.platform`.
     ///
@@ -151,15 +305,13 @@ impl SimNet {
         assert!(cfg.ranks_per_node > 0, "ranks_per_node must be positive");
         Self {
             inner: SharedMem::new(p),
-            platform: Platform::get(cfg.platform),
-            ranks_per_node: cfg.ranks_per_node,
-            first_done: (0..p).map(|_| AtomicBool::new(false)).collect(),
-            rows: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            model: Arc::new(SimModel {
+                platform: Platform::get(cfg.platform),
+                ranks_per_node: cfg.ranks_per_node,
+                first_done: (0..p).map(|_| AtomicBool::new(false)).collect(),
+                rows: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            }),
         }
-    }
-
-    fn node_of(&self, rank: usize) -> usize {
-        rank / self.ranks_per_node
     }
 }
 
@@ -181,37 +333,49 @@ impl Transport for SimNet {
     }
 
     fn collective_wall(&self, rank: usize, op: Collective<'_>, _elapsed: Duration) -> Duration {
-        let p = self.inner.size();
-        let latency = collective_latency_s(self.platform, p);
         match op {
-            Collective::Dense => Duration::from_secs_f64(latency),
+            Collective::Dense => Duration::from_secs_f64(collective_latency_s(
+                self.model.platform,
+                self.inner.size(),
+            )),
             Collective::Alltoallv { dest_bytes } => {
-                // Publish this rank's per-destination volume, then (after
-                // the barrier) aggregate the whole node's traffic exactly
-                // as `dibella_netmodel::stage_cost` does.
-                *self.rows[rank].lock() = dest_bytes.to_vec();
-                self.inner.wait();
-                let home = self.node_of(rank);
-                let (mut on, mut off) = (0u64, 0u64);
-                for src in (0..p).filter(|&r| self.node_of(r) == home) {
-                    for (dst, &b) in self.rows[src].lock().iter().enumerate() {
-                        if self.node_of(dst) == home {
-                            on += b;
-                        } else {
-                            off += b;
-                        }
-                    }
-                }
-                self.inner.wait(); // rows may be reused after this point
-                let base = latency + exchange_transfer_s(self.platform, on, off);
-                let setup = if !self.first_done[rank].swap(true, Ordering::Relaxed) {
-                    first_alltoallv_setup_s(self.platform, p, base)
-                } else {
-                    0.0
-                };
-                Duration::from_secs_f64(base + setup)
+                self.model.alltoallv_wall(&self.inner.hub, rank, dest_bytes)
             }
         }
+    }
+
+    fn exchange_start(&self, rank: usize, send: Vec<Vec<u8>>) -> InFlight {
+        let hub = Arc::clone(&self.inner.hub);
+        let model = Arc::clone(&self.model);
+        let (tx, rx) = mpsc::channel();
+        rayon::spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let sizes: Vec<u64> = send.iter().map(|b| b.len() as u64).collect();
+                let recv = exchange_on_hub(&hub, rank, send);
+                let modeled = model.alltoallv_wall(&hub, rank, &sizes);
+                (recv, modeled)
+            }));
+            let _ = tx.send(result);
+        });
+        InFlight { rx }
+    }
+
+    fn exchange_wait(
+        &self,
+        _rank: usize,
+        pending: InFlight,
+        overlapped: Duration,
+    ) -> (Vec<Vec<u8>>, Duration) {
+        // An overlapped round costs the slower of the packing done while
+        // the exchange was in flight and the modeled exchange itself —
+        // the netmodel's single definition of an overlapped round, so the
+        // executable backend and the analytic projections agree.
+        let (recv, modeled) = pending.finish();
+        let charged = Duration::from_secs_f64(overlapped_round_s(
+            overlapped.as_secs_f64(),
+            modeled.as_secs_f64(),
+        ));
+        (recv, charged)
     }
 }
 

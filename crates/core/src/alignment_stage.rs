@@ -3,9 +3,17 @@
 //! "Because the pairwise alignments require the full reads, any non-local
 //! reads are requested and received by the respective processor." Each
 //! rank collects the remote read IDs its tasks reference, requests them
-//! from their owners (one irregular exchange), receives the sequences
-//! (a second irregular exchange of variable-length records), then runs
-//! the x-drop kernel on every (pair, seed) task locally.
+//! from their owners, receives the sequences as variable-length records,
+//! then runs the x-drop kernel on every (pair, seed) task locally. Both
+//! the request and the reply exchange stream through the
+//! [`dibella_comm::RoundExchange`] engine in byte-bounded
+//! rounds ([`dibella_comm::ByteRounds`] keeps records whole), so the
+//! read redistribution's *wire traffic* is bounded per round by
+//! [`PipelineConfig::max_exchange_bytes_per_round`] (the serving rank
+//! still stages its full reply volume locally before shipping, exactly as
+//! the monolithic path always did — replicated reads are resident on the
+//! requester afterwards either way); unbounded, each exchange is the
+//! single monolithic `Alltoallv` of the paper.
 //!
 //! # Intra-rank parallelism
 //!
@@ -23,7 +31,7 @@
 use crate::config::PipelineConfig;
 use crate::record::AlignmentRecord;
 use dibella_align::{extend_seed_with_workspace, AlignWorkspace, SeedHit};
-use dibella_comm::{decode_vec, encode_slice, Comm};
+use dibella_comm::{decode_iter, encode_slice, ByteRounds, Comm, RoundExchange};
 use dibella_io::{ReadId, ReadStore};
 use dibella_kmer::base::reverse_complement_ascii_into;
 use dibella_overlap::OverlapTask;
@@ -66,6 +74,10 @@ pub struct AlignCounters {
     pub read_bytes_fetched: u64,
     /// Alignments meeting the output score threshold.
     pub accepted: u64,
+    /// Exchange rounds of the read redistribution (request rounds plus
+    /// reply rounds; equals the stage's `alltoallv` call count — 2 unless
+    /// a round cap forces streaming).
+    pub rounds: u64,
 }
 
 impl AlignCounters {
@@ -83,6 +95,7 @@ impl AlignCounters {
             read_bytes_served,
             read_bytes_fetched,
             accepted,
+            rounds,
         } = *other;
         self.tasks += tasks;
         self.alignments += alignments;
@@ -91,15 +104,24 @@ impl AlignCounters {
         self.read_bytes_served += read_bytes_served;
         self.read_bytes_fetched += read_bytes_fetched;
         self.accepted += accepted;
+        self.rounds += rounds;
     }
 }
 
-/// Fetch every remote read referenced by `tasks` into `store` (two
-/// irregular exchanges: ID requests, then sequence replies).
+/// Fetch every remote read referenced by `tasks` into `store`: one
+/// streaming exchange of ID requests, then one of variable-length
+/// sequence replies, each in rounds of at most `max_round_bytes` send
+/// bytes per rank (plus at most one record of slack — records never split
+/// across rounds). The cap bounds each round's in-flight wire buffers,
+/// not the serving rank's staged reply volume (built in full before the
+/// reply rounds, as the monolithic path always did). `usize::MAX`
+/// reproduces the paper's two monolithic exchanges; the installed reads
+/// are identical at every cap.
 pub fn fetch_remote_reads(
     comm: &Comm,
     store: &mut ReadStore,
     tasks: &[OverlapTask],
+    max_round_bytes: usize,
     counters: &mut AlignCounters,
 ) {
     let p = comm.size();
@@ -122,42 +144,65 @@ pub fn fetch_remote_reads(
     for b in req_bufs.iter_mut() {
         b.sort_unstable();
     }
-    let requests = comm.alltoallv_bytes(req_bufs.into_iter().map(|b| encode_slice(&b)).collect());
+    let req_bytes: Vec<Vec<u8>> = req_bufs.iter().map(|b| encode_slice(b)).collect();
+    let req_counts: Vec<usize> = req_bufs.iter().map(Vec::len).collect();
+    let req_split = ByteRounds::plan_uniform(&req_counts, 4, max_round_bytes);
 
-    // ---- serve sequences ---------------------------------------------------
+    // Serving side: replies accumulate per requester in request-arrival
+    // order — the rounds slice each sorted request list in order, so the
+    // concatenated reply stream is byte-identical to the monolithic one.
     // Reply record: u32 id, u32 len, then `len` sequence bytes.
     let mut reply_bufs: Vec<Vec<u8>> = vec![Vec::new(); p];
-    for (src, buf) in requests.into_iter().enumerate() {
-        for id in decode_vec::<u32>(&buf) {
-            let seq = store
-                .local_seq(id)
-                .unwrap_or_else(|| panic!("rank {} asked rank {} for read {id} it does not own",
-                    src, comm.rank()));
-            counters.read_bytes_served += seq.len() as u64;
-            let out = &mut reply_bufs[src];
-            out.extend_from_slice(&id.to_le_bytes());
-            out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
-            out.extend_from_slice(seq);
-        }
-    }
-    let replies = comm.alltoallv_bytes(reply_bufs);
+    let mut reply_lens: Vec<Vec<usize>> = vec![Vec::new(); p];
+    let mut rounds = RoundExchange::run(
+        comm,
+        req_split.round_plan(),
+        |round| req_split.pack(round, &req_bytes),
+        |_round, recv| {
+            for (src, buf) in recv.into_iter().enumerate() {
+                for id in decode_iter::<u32>(&buf) {
+                    let seq = store
+                        .local_seq(id)
+                        .unwrap_or_else(|| panic!("rank {} asked rank {} for read {id} it does not own",
+                            src, comm.rank()));
+                    counters.read_bytes_served += seq.len() as u64;
+                    let out = &mut reply_bufs[src];
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+                    out.extend_from_slice(seq);
+                    reply_lens[src].push(8 + seq.len());
+                }
+            }
+        },
+    );
 
-    // ---- install replicated reads ------------------------------------------
-    // All sequences land in the store's single arena; reserving the total
-    // reply volume up front (a slight over-estimate: it includes the 8-byte
-    // record headers) makes the install loop reallocation-free.
-    store.reserve_replicated(replies.iter().map(Vec::len).sum());
-    for buf in replies {
-        let mut at = 0usize;
-        while at < buf.len() {
-            let id = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
-            let len = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()) as usize;
-            at += 8;
-            counters.read_bytes_fetched += len as u64;
-            store.insert_replicated(id, &buf[at..at + len]);
-            at += len;
-        }
-    }
+    // ---- serve sequences, install replicated reads -------------------------
+    // All sequences land in the store's single arena; reserving each
+    // round's reply volume as it arrives (a slight over-estimate: it
+    // includes the 8-byte record headers) keeps the install loop
+    // reallocation-free while never holding more than ~one round cap of
+    // undelivered replies.
+    let reply_split = ByteRounds::plan(&reply_lens, max_round_bytes);
+    rounds += RoundExchange::run(
+        comm,
+        reply_split.round_plan(),
+        |round| reply_split.pack(round, &reply_bufs),
+        |_round, recv| {
+            store.reserve_replicated(recv.iter().map(Vec::len).sum());
+            for buf in recv {
+                let mut at = 0usize;
+                while at < buf.len() {
+                    let id = u32::from_le_bytes(buf[at..at + 4].try_into().unwrap());
+                    let len = u32::from_le_bytes(buf[at + 4..at + 8].try_into().unwrap()) as usize;
+                    at += 8;
+                    counters.read_bytes_fetched += len as u64;
+                    store.insert_replicated(id, &buf[at..at + len]);
+                    at += len;
+                }
+            }
+        },
+    );
+    counters.rounds = rounds;
 }
 
 /// Align every (pair, seed) task against the now-complete local read set.
@@ -315,7 +360,7 @@ mod tests {
                 seeds: vec![SharedSeed { a_pos: 0, b_pos: 0, reverse: false }],
             }];
             let mut c = AlignCounters::default();
-            fetch_remote_reads(comm, &mut store, &tasks, &mut c);
+            fetch_remote_reads(comm, &mut store, &tasks, usize::MAX, &mut c);
             (
                 store.seq(0).map(|s| s.to_vec()),
                 store.seq(5).map(|s| s.to_vec()),
@@ -327,6 +372,53 @@ mod tests {
             assert_eq!(s5.as_deref(), Some(all[5].seq.as_slice()), "rank {rank}");
             // Owners of both reads requested fewer.
             assert!(c.reads_requested <= 2);
+        }
+    }
+
+    #[test]
+    fn bounded_fetch_rounds_install_identical_reads() {
+        // Every rank needs every remote read; a 100-byte round cap forces
+        // several reply rounds (each reply record is 8 + 60 bytes), which
+        // must install exactly the same sequences as the unbounded path
+        // and keep the per-round send volume under cap + one record.
+        let reads = mk_reads();
+        let (part, chunks) = store_world(&reads, 3);
+        let all: Vec<Read> = reads.reads().to_vec();
+        let tasks: Vec<OverlapTask> = (0..5u32)
+            .map(|a| OverlapTask {
+                pair: ReadPair::new(a, a + 1),
+                seeds: vec![SharedSeed { a_pos: 0, b_pos: 0, reverse: false }],
+            })
+            .collect();
+        for cap in [usize::MAX, 100] {
+            let outs = CommWorld::run(3, |comm| {
+                let mut store = ReadStore::new(
+                    comm.rank(),
+                    part.clone(),
+                    chunks[comm.rank()].clone().into_reads(),
+                );
+                let mut c = AlignCounters::default();
+                fetch_remote_reads(comm, &mut store, &tasks, cap, &mut c);
+                let seqs: Vec<Vec<u8>> =
+                    (0..6u32).map(|id| store.seq(id).unwrap().to_vec()).collect();
+                (seqs, c, comm.take_stats())
+            });
+            for (rank, (seqs, c, stats)) in outs.iter().enumerate() {
+                for (id, seq) in seqs.iter().enumerate() {
+                    assert_eq!(seq, &all[id].seq, "cap {cap} rank {rank} read {id}");
+                }
+                assert_eq!(stats.alltoallv_calls, c.rounds, "calls must equal rounds");
+                if cap == usize::MAX {
+                    assert_eq!(c.rounds, 2, "unbounded fetch is two exchanges");
+                } else {
+                    assert!(c.rounds > 2, "tiny cap must force streaming rounds");
+                    assert!(
+                        stats.peak_round_bytes <= (cap + 8 + 60) as u64,
+                        "peak {} exceeds cap + record",
+                        stats.peak_round_bytes
+                    );
+                }
+            }
         }
     }
 

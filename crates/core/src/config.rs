@@ -30,6 +30,15 @@ pub struct PipelineConfig {
     pub min_align_score: i32,
     /// Streaming cap per rank and round in the k-mer passes.
     pub max_kmers_per_round: usize,
+    /// Byte cap per rank and exchange round, across **all four stages**
+    /// (`usize::MAX` = unbounded). Every stage streams its irregular
+    /// exchange through the `RoundExchange` engine in rounds of at most
+    /// this many send bytes (plus at most one record of slack — records
+    /// never split across rounds), packing each round while the previous
+    /// one is in flight. The CLI exposes this as `--round-mb`, the bench
+    /// harness as `DIBELLA_ROUND_MB`. Results are bit-identical at every
+    /// setting; only memory footprint and comm/compute overlap change.
+    pub max_exchange_bytes_per_round: usize,
     /// Bloom filter false-positive target.
     pub bloom_fp_rate: f64,
     /// When set, run a distributed HyperLogLog pre-pass of this precision
@@ -66,6 +75,7 @@ impl Default for PipelineConfig {
             scoring: Scoring::bella(),
             min_align_score: 0,
             max_kmers_per_round: 1 << 20,
+            max_exchange_bytes_per_round: usize::MAX,
             bloom_fp_rate: 0.05,
             hll_precision: None,
             placement: TaskPlacement::Parity,
@@ -95,6 +105,7 @@ impl PipelineConfig {
         kc.max_multiplicity = self.multiplicity_threshold();
         kc.bloom_fp_rate = self.bloom_fp_rate;
         kc.max_kmers_per_round = self.max_kmers_per_round;
+        kc.max_exchange_bytes_per_round = self.max_exchange_bytes_per_round;
         kc
     }
 
@@ -114,6 +125,7 @@ impl PipelineConfig {
             policy: self.seed_policy,
             max_seeds_per_pair: self.max_seeds_per_pair,
             placement: self.placement,
+            max_exchange_bytes_per_round: self.max_exchange_bytes_per_round,
         }
     }
 }
@@ -148,5 +160,19 @@ mod tests {
         assert_eq!(kc.max_kmers_per_round, 4096);
         assert_eq!(kc.bloom_fp_rate, 0.2);
         assert_eq!(kc.k, 17);
+    }
+
+    #[test]
+    fn round_byte_cap_reaches_every_stage_config() {
+        // Default: unbounded everywhere.
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.max_exchange_bytes_per_round, usize::MAX);
+        assert_eq!(cfg.kcount(1_000).max_exchange_bytes_per_round, usize::MAX);
+        assert_eq!(cfg.overlap().max_exchange_bytes_per_round, usize::MAX);
+        // A cap flows into both derived configs (stage 4 reads it off the
+        // PipelineConfig directly).
+        let capped = PipelineConfig { max_exchange_bytes_per_round: 1 << 20, ..Default::default() };
+        assert_eq!(capped.kcount(1_000).max_exchange_bytes_per_round, 1 << 20);
+        assert_eq!(capped.overlap().max_exchange_bytes_per_round, 1 << 20);
     }
 }

@@ -20,6 +20,11 @@ pub struct KcountConfig {
     /// buffered before an exchange is forced. The paper streams "a subset
     /// of input data at a time to limit the memory consumption" (§4).
     pub max_kmers_per_round: usize,
+    /// Byte cap per rank and exchange round (`usize::MAX` = unbounded).
+    /// Whichever of this and [`KcountConfig::max_kmers_per_round`] is
+    /// tighter bounds a round — the `--round-mb` knob every stage of the
+    /// pipeline shares.
+    pub max_exchange_bytes_per_round: usize,
 }
 
 impl KcountConfig {
@@ -41,6 +46,7 @@ impl KcountConfig {
             bloom_fp_rate: 0.05,
             expected_distinct,
             max_kmers_per_round: 1 << 20,
+            max_exchange_bytes_per_round: usize::MAX,
         }
     }
 

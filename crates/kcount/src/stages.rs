@@ -3,9 +3,12 @@
 //! Both passes stream the local reads in bounded *rounds* so that no rank
 //! ever materializes its whole k-mer bag (paper §4: "diBELLA executes in a
 //! streaming fashion with a subset of input data at a time to limit the
-//! memory consumption"). Every round is one irregular `Alltoallv` of
-//! fixed-size records; the number of rounds is agreed world-wide with a
-//! max-reduction so collectives stay matched.
+//! memory consumption"). Each pass is one
+//! [`dibella_comm::RoundExchange`] drive: a shared packer
+//! (`pack_kmer_round`) walks the rank's k-mer stream and routes records
+//! to their owners, the engine agrees the world-wide round count and
+//! overlaps each round's exchange with the packing of the next, and the
+//! pass's consumer folds received records into its Bloom/hash partition.
 //!
 //! Wire sizes mirror the paper's volumes: a Bloom-pass record is the
 //! 8-byte packed k-mer, a hash-pass record adds read ID, position and
@@ -13,9 +16,11 @@
 
 use crate::config::KcountConfig;
 use crate::table::{KmerHashTable, Occurrence};
-use dibella_comm::{decode_iter, encode_slice, Comm, Wire};
+use dibella_comm::{
+    decode_iter, encode_slice, records_per_round, Comm, RoundExchange, RoundPlan, Wire,
+};
 use dibella_io::Read;
-use dibella_kmer::{kmer_count, Kmer1, KmerIter, Strand};
+use dibella_kmer::{kmer_count, Kmer1, KmerHit, KmerIter, Strand};
 use dibella_sketch::BloomFilter;
 
 /// Bloom-pass record: the packed canonical k-mer word.
@@ -53,21 +58,49 @@ pub struct BloomOutput {
     pub counters: KmerStageCounters,
 }
 
-/// Number of exchange rounds every rank must execute so that collectives
-/// stay matched: the world maximum of each rank's own need.
-fn agree_rounds(comm: &Comm, local_kmers: u64, cap: usize) -> u64 {
-    let need = local_kmers.div_ceil(cap as u64).max(1);
-    comm.allreduce_max_u64(need)
-}
-
 /// Iterate `(read, hit)` pairs over a read slice in k-mer order.
 fn kmer_stream<'a>(
     reads: &'a [Read],
     k: usize,
-) -> impl Iterator<Item = (&'a Read, dibella_kmer::KmerHit<1>)> + 'a {
+) -> impl Iterator<Item = (&'a Read, KmerHit<1>)> + 'a {
     reads
         .iter()
         .flat_map(move |r| KmerIter::<1>::new(&r.seq, k).map(move |h| (r, h)))
+}
+
+/// Pack one exchange round of both k-mer passes: draw up to `per_round`
+/// k-mers from `stream`, route each to its owner's rank by hash, and
+/// encode the per-destination buffers to wire bytes. `to_msg` is the only
+/// thing that differs between the passes — the bare packed word for the
+/// Bloom pass, the word plus `(read, position, strand)` for the hash pass.
+fn pack_kmer_round<'a, M, I, F>(
+    stream: &mut I,
+    per_round: usize,
+    ranks: usize,
+    parsed: &mut u64,
+    to_msg: F,
+) -> Vec<Vec<u8>>
+where
+    M: Wire + Clone,
+    I: Iterator<Item = (&'a Read, KmerHit<1>)>,
+    F: Fn(&Read, &KmerHit<1>) -> M,
+{
+    let mut bufs: Vec<Vec<M>> = vec![Vec::new(); ranks];
+    for (read, hit) in stream.by_ref().take(per_round) {
+        *parsed += 1;
+        bufs[hit.kmer.owner(ranks)].push(to_msg(read, &hit));
+    }
+    bufs.into_iter().map(|b| encode_slice(&b)).collect()
+}
+
+/// The per-round k-mer budget of a pass: the record cap and the byte cap,
+/// whichever is tighter.
+fn kmers_per_round<M: Wire>(cfg: &KcountConfig) -> usize {
+    records_per_round(
+        <M as Wire>::SIZE,
+        cfg.max_kmers_per_round,
+        cfg.max_exchange_bytes_per_round,
+    )
 }
 
 /// Stage 1 — distributed Bloom filter construction (paper §6).
@@ -87,34 +120,41 @@ pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutp
     let mut counters = KmerStageCounters::default();
 
     let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
-    let rounds = agree_rounds(comm, local_kmers, cfg.max_kmers_per_round);
+    let per_round = kmers_per_round::<BloomMsg>(cfg);
     let mut stream = kmer_stream(reads, cfg.k);
+    let mut parsed = 0u64;
+    let mut received = 0u64;
+    let mut promoted = 0u64;
 
-    for _ in 0..rounds {
-        counters.rounds += 1;
-        // Pack up to the round cap.
-        let mut bufs: Vec<Vec<BloomMsg>> = vec![Vec::new(); p];
-        for (_, hit) in stream.by_ref().take(cfg.max_kmers_per_round) {
-            counters.kmers_parsed += 1;
-            bufs[hit.kmer.owner(p)].push(hit.kmer.words()[0]);
-        }
-        // Exchange as raw bytes (exact wire accounting).
-        let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
-        for buf in recv {
-            for word in decode_iter::<BloomMsg>(&buf) {
-                counters.kmers_received += 1;
-                let kmer = Kmer1::from_words([word], cfg.k as u16);
-                debug_assert_eq!(kmer.owner(p), comm.rank(), "misrouted k-mer");
-                if bloom.insert(kmer.hash64()) {
-                    // Second (apparent) sighting → promote to hash table.
-                    if !table.contains(&kmer) {
-                        counters.promoted_keys += 1;
-                        table.insert_key(kmer);
+    let rounds = RoundExchange::run(
+        comm,
+        RoundPlan::for_records(local_kmers, per_round),
+        |_round| {
+            pack_kmer_round::<BloomMsg, _, _>(&mut stream, per_round, p, &mut parsed, |_, hit| {
+                hit.kmer.words()[0]
+            })
+        },
+        |_round, recv| {
+            for buf in recv {
+                for word in decode_iter::<BloomMsg>(&buf) {
+                    received += 1;
+                    let kmer = Kmer1::from_words([word], cfg.k as u16);
+                    debug_assert_eq!(kmer.owner(p), comm.rank(), "misrouted k-mer");
+                    if bloom.insert(kmer.hash64()) {
+                        // Second (apparent) sighting → promote to hash table.
+                        if !table.contains(&kmer) {
+                            promoted += 1;
+                            table.insert_key(kmer);
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
+    counters.kmers_parsed = parsed;
+    counters.kmers_received = received;
+    counters.promoted_keys = promoted;
+    counters.rounds = rounds;
 
     let bloom_bytes = bloom.memory_bytes();
     let bloom_fill = bloom.fill_ratio();
@@ -148,38 +188,47 @@ pub fn hash_stage(
     let mut counters = KmerStageCounters::default();
 
     let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
-    let rounds = agree_rounds(comm, local_kmers, cfg.max_kmers_per_round);
+    let per_round = kmers_per_round::<HashMsg>(cfg);
+    debug_assert_eq!(<HashMsg as Wire>::SIZE, 20, "2.5x the 8-byte Bloom record");
     let mut stream = kmer_stream(reads, cfg.k);
+    let mut parsed = 0u64;
+    let mut received = 0u64;
+    let mut recorded = 0u64;
 
-    for _ in 0..rounds {
-        counters.rounds += 1;
-        let mut bufs: Vec<Vec<HashMsg>> = vec![Vec::new(); p];
-        for (read, hit) in stream.by_ref().take(cfg.max_kmers_per_round) {
-            counters.kmers_parsed += 1;
-            bufs[hit.kmer.owner(p)].push((
-                hit.kmer.words()[0],
-                read.id,
-                hit.pos,
-                hit.strand.as_u8() as u32,
-            ));
-        }
-        debug_assert_eq!(<HashMsg as Wire>::SIZE, 20, "2.5x the 8-byte Bloom record");
-        let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
-        for buf in recv {
-            for (word, rid, pos, strand) in decode_iter::<HashMsg>(&buf) {
-                counters.kmers_received += 1;
-                let kmer = Kmer1::from_words([word], cfg.k as u16);
-                let occ = Occurrence {
-                    read: rid,
-                    pos,
-                    strand: Strand::from_u8(strand as u8),
-                };
-                if table.record_occurrence(&kmer, occ, cfg) {
-                    counters.recorded_occurrences += 1;
+    let rounds = RoundExchange::run(
+        comm,
+        RoundPlan::for_records(local_kmers, per_round),
+        |_round| {
+            pack_kmer_round::<HashMsg, _, _>(&mut stream, per_round, p, &mut parsed, |read, hit| {
+                (
+                    hit.kmer.words()[0],
+                    read.id,
+                    hit.pos,
+                    hit.strand.as_u8() as u32,
+                )
+            })
+        },
+        |_round, recv| {
+            for buf in recv {
+                for (word, rid, pos, strand) in decode_iter::<HashMsg>(&buf) {
+                    received += 1;
+                    let kmer = Kmer1::from_words([word], cfg.k as u16);
+                    let occ = Occurrence {
+                        read: rid,
+                        pos,
+                        strand: Strand::from_u8(strand as u8),
+                    };
+                    if table.record_occurrence(&kmer, occ, cfg) {
+                        recorded += 1;
+                    }
                 }
             }
-        }
-    }
+        },
+    );
+    counters.kmers_parsed = parsed;
+    counters.kmers_received = received;
+    counters.recorded_occurrences = recorded;
+    counters.rounds = rounds;
 
     let filter = table.retain_reliable(cfg.max_multiplicity);
     HashOutput { filter, counters }
@@ -200,6 +249,7 @@ mod tests {
             bloom_fp_rate: 0.01,
             expected_distinct: 10_000,
             max_kmers_per_round: 64, // tiny cap → exercises multi-round path
+            max_exchange_bytes_per_round: usize::MAX,
         }
     }
 

@@ -185,6 +185,7 @@ mod tests {
             bloom_fp_rate: 0.05,
             expected_distinct: 1024,
             max_kmers_per_round: 1 << 16,
+            max_exchange_bytes_per_round: usize::MAX,
         }
     }
 

@@ -68,6 +68,7 @@ proptest! {
             bloom_fp_rate: 0.02,
             expected_distinct: 4096,
             max_kmers_per_round: cap,
+            max_exchange_bytes_per_round: usize::MAX,
         };
         let want = reference(&reads, k, m);
         let (_, chunks) = partition_reads(&reads, p);
@@ -96,6 +97,7 @@ proptest! {
             bloom_fp_rate: 0.02,
             expected_distinct: 4096,
             max_kmers_per_round: 1 << 12,
+            max_exchange_bytes_per_round: usize::MAX,
         };
         let (_, chunks) = partition_reads(&reads, p);
         let outs = CommWorld::run(p, |comm| {

@@ -2,15 +2,21 @@
 //!
 //! Each rank walks its hash-table partition, forms every pair of reads
 //! sharing a retained k-mer, routes the task to the home of one of its
-//! reads via the odd/even heuristic, exchanges tasks with one irregular
-//! all-to-all, and consolidates per-pair seed lists, which are then
-//! filtered by the run's [`SeedPolicy`].
+//! reads via the odd/even heuristic, streams the tasks out in
+//! byte-bounded [`dibella_comm::RoundExchange`] rounds
+//! (packing each round while the previous one is in flight), and
+//! consolidates per-pair seed lists, which are then filtered by the run's
+//! [`SeedPolicy`]. With the round cap unbounded this degenerates to the
+//! single monolithic all-to-all of the paper's Algorithm 1; the results
+//! are bit-identical either way.
 
 use crate::policy::SeedPolicy;
 use crate::task::{OverlapTask, ReadPair, SharedSeed, TaskPlacement};
-use dibella_comm::{decode_iter, encode_slice, Comm};
+use dibella_comm::{
+    decode_iter, encode_slice, records_per_round, Comm, RoundExchange, RoundPlan, Wire,
+};
 use dibella_io::{ReadId, ReadPartition};
-use dibella_kcount::KmerHashTable;
+use dibella_kcount::{KmerHashTable, Occurrence};
 use dibella_kmer::Strand;
 use std::collections::HashMap;
 
@@ -25,6 +31,10 @@ pub struct OverlapConfig {
     /// Task placement strategy (parity heuristic, or the §9 future-work
     /// longer-read placement).
     pub placement: TaskPlacement,
+    /// Byte cap per rank and exchange round (`usize::MAX` = unbounded,
+    /// i.e. one monolithic exchange). The pipeline plumbs `--round-mb`
+    /// through here.
+    pub max_exchange_bytes_per_round: usize,
 }
 
 impl Default for OverlapConfig {
@@ -33,7 +43,44 @@ impl Default for OverlapConfig {
             policy: SeedPolicy::Single,
             max_seeds_per_pair: 16,
             placement: TaskPlacement::Parity,
+            max_exchange_bytes_per_round: usize::MAX,
         }
+    }
+}
+
+/// Iterator over the cross-read occurrence pairs of one hash-table entry,
+/// in the `(i, j)` order of Algorithm 1's nested loop. Same-read pairs (a
+/// k-mer repeated within one read witnesses no overlap) are skipped
+/// without being yielded, so `take(n)` budgets real task records.
+struct OccPairs<'a> {
+    occs: &'a [Occurrence],
+    i: usize,
+    j: usize,
+}
+
+impl<'a> OccPairs<'a> {
+    fn new(occs: &'a [Occurrence]) -> Self {
+        Self { occs, i: 0, j: 1 }
+    }
+}
+
+impl<'a> Iterator for OccPairs<'a> {
+    type Item = (&'a Occurrence, &'a Occurrence);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.i < self.occs.len() {
+            if self.j >= self.occs.len() {
+                self.i += 1;
+                self.j = self.i + 1;
+                continue;
+            }
+            let (oi, oj) = (&self.occs[self.i], &self.occs[self.j]);
+            self.j += 1;
+            if oi.read != oj.read {
+                return Some((oi, oj));
+            }
+        }
+        None
     }
 }
 
@@ -53,6 +100,9 @@ pub struct OverlapCounters {
     pub seeds_kept: u64,
     /// Seeds dropped by the policy.
     pub seeds_dropped: u64,
+    /// Bulk-synchronous exchange rounds executed (equals the stage's
+    /// `alltoallv` call count; 1 unless a round cap forces streaming).
+    pub rounds: u64,
 }
 
 /// Result of the overlap stage on one rank.
@@ -91,22 +141,41 @@ pub fn overlap_stage_with_lengths(
     lengths: Option<&[u32]>,
 ) -> OverlapOutput {
     let p = comm.size();
-    let mut counters = OverlapCounters::default();
+    let mut counters = OverlapCounters {
+        retained_kmers: table.len() as u64,
+        ..Default::default()
+    };
 
-    // ---- Algorithm 1: form pairs, buffer to the home rank ----------------
-    let mut bufs: Vec<Vec<TaskMsg>> = vec![Vec::new(); p];
-    for (_kmer, entry) in table.iter() {
-        counters.retained_kmers += 1;
-        let occs = &entry.occurrences;
-        for i in 0..occs.len() {
-            for j in (i + 1)..occs.len() {
-                let (oi, oj) = (&occs[i], &occs[j]);
-                if oi.read == oj.read {
-                    // A k-mer repeated within one read does not witness an
-                    // overlap between two reads.
-                    continue;
-                }
-                counters.pairs_emitted += 1;
+    // ---- Algorithm 1, streamed: form pairs lazily, round by round --------
+    // The round budget is planned from an upper bound (all occurrence
+    // pairs, including the same-read ones the stream skips), so a rank
+    // whose tail entries yield nothing simply ships empty trailing rounds.
+    let pair_bound: u64 = table
+        .iter()
+        .map(|(_, e)| {
+            let n = e.occurrences.len() as u64;
+            n * n.saturating_sub(1) / 2
+        })
+        .sum();
+    let per_round = records_per_round(
+        <TaskMsg as Wire>::SIZE,
+        usize::MAX,
+        cfg.max_exchange_bytes_per_round,
+    );
+    let mut stream = table
+        .iter()
+        .flat_map(|(_kmer, entry)| OccPairs::new(&entry.occurrences));
+    let mut emitted = 0u64;
+    let mut received = 0u64;
+    let mut pairs: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
+
+    let rounds = RoundExchange::run(
+        comm,
+        RoundPlan::for_records(pair_bound, per_round),
+        |_round| {
+            let mut bufs: Vec<Vec<TaskMsg>> = vec![Vec::new(); p];
+            for (oi, oj) in stream.by_ref().take(per_round) {
+                emitted += 1;
                 let home: ReadId = cfg.placement.home(oi.read, oj.read, lengths);
                 // Normalize so the receiving side sees a < b.
                 let (pair, a_pos, b_pos) = if oi.read < oj.read {
@@ -121,23 +190,24 @@ pub fn overlap_stage_with_lengths(
                     (a_pos, b_pos, reverse as u32),
                 ));
             }
-        }
-    }
-
-    // ---- exchange ----------------------------------------------------------
-    let recv = comm.alltoallv_bytes(bufs.into_iter().map(|b| encode_slice(&b)).collect());
-
-    // ---- consolidate per-pair seed lists ------------------------------------
-    let mut pairs: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
-    for buf in recv {
-        for (a, b, (a_pos, b_pos, rev)) in decode_iter::<TaskMsg>(&buf) {
-            counters.tasks_received += 1;
-            pairs
-                .entry(ReadPair { a, b })
-                .or_default()
-                .push(SharedSeed { a_pos, b_pos, reverse: rev != 0 });
-        }
-    }
+            bufs.into_iter().map(|b| encode_slice(&b)).collect()
+        },
+        // ---- consolidate per-pair seed lists, as rounds arrive ----------
+        |_round, recv| {
+            for buf in recv {
+                for (a, b, (a_pos, b_pos, rev)) in decode_iter::<TaskMsg>(&buf) {
+                    received += 1;
+                    pairs
+                        .entry(ReadPair { a, b })
+                        .or_default()
+                        .push(SharedSeed { a_pos, b_pos, reverse: rev != 0 });
+                }
+            }
+        },
+    );
+    counters.pairs_emitted = emitted;
+    counters.tasks_received = received;
+    counters.rounds = rounds;
 
     // ---- filter seeds, emit deterministic task list -------------------------
     let mut tasks: Vec<OverlapTask> = pairs
@@ -211,6 +281,7 @@ mod tests {
             bloom_fp_rate: 0.01,
             expected_distinct: 10_000,
             max_kmers_per_round: 1 << 14,
+            max_exchange_bytes_per_round: usize::MAX,
         }
     }
 

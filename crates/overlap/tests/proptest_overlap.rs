@@ -35,6 +35,7 @@ fn run_to_overlap(reads: &ReadSet, p: usize, policy: SeedPolicy) -> Vec<OverlapT
         bloom_fp_rate: 0.02,
         expected_distinct: 4096,
         max_kmers_per_round: 1 << 12,
+        max_exchange_bytes_per_round: usize::MAX,
     };
     let oc = OverlapConfig { policy, max_seeds_per_pair: 64, ..Default::default() };
     let (part, chunks) = partition_reads(reads, p);

@@ -9,6 +9,8 @@
 //! DIBELLA_ALIGN_THREADS=4 cargo run --release --example ecoli_pipeline
 //! # run "on" a virtual AWS cluster (modeled exchange times, same results)
 //! DIBELLA_TRANSPORT=sim:aws:16 cargo run --release --example ecoli_pipeline
+//! # stream every stage's exchange in 1 MiB rounds (same results, bounded memory)
+//! DIBELLA_ROUND_MB=1 cargo run --release --example ecoli_pipeline
 //! ```
 
 use dibella::datagen::ecoli_30x_like;
@@ -31,6 +33,17 @@ fn main() {
         .ok()
         .map(|v| v.parse().expect("DIBELLA_TRANSPORT"))
         .unwrap_or_default();
+    let round_bytes: usize = std::env::var("DIBELLA_ROUND_MB")
+        .ok()
+        .map(|v| {
+            let mb: f64 = v
+                .parse()
+                .ok()
+                .filter(|&m| m > 0.0)
+                .expect("DIBELLA_ROUND_MB: positive MiB");
+            (mb * (1 << 20) as f64) as usize
+        })
+        .unwrap_or(usize::MAX);
 
     println!("== E. coli 30x-like workload at scale {scale} ==");
     println!("{ranks} ranks x {align_threads} alignment thread(s) per rank, transport {transport}");
@@ -55,6 +68,7 @@ fn main() {
             max_seeds_per_pair: 8,
             align_threads,
             transport,
+            max_exchange_bytes_per_round: round_bytes,
             ..Default::default()
         };
         let t = std::time::Instant::now();

@@ -41,8 +41,8 @@ const USAGE: &str = "dibella — distributed long-read overlap and alignment (IC
 USAGE:
   dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--align-threads N]
                   [--transport shared|sim:<platform>[:<ranks_per_node>]]
-                  [--policy one|1000|k] [-e ERR] [-d DEPTH] [-x XDROP]
-                  [--min-score S] [-o out.paf] [--gfa out.gfa]
+                  [--round-mb MB] [--policy one|1000|k] [-e ERR] [-d DEPTH]
+                  [-x XDROP] [--min-score S] [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
                   [-e ERR] [-s SEED]
   dibella stats <reads.fastq> [-k K] [-e ERR] [-d DEPTH]";
@@ -118,6 +118,19 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         None => TransportKind::SharedMem,
         Some(v) => v.parse()?,
     };
+    // Streaming-exchange byte cap per rank and round, in MiB (fractions
+    // allowed); unset = unbounded, i.e. one monolithic exchange per stage.
+    let round_bytes: usize = match flags.named.get("round-mb") {
+        None => usize::MAX,
+        Some(v) => {
+            let mb: f64 = v
+                .parse()
+                .ok()
+                .filter(|&m| m > 0.0)
+                .ok_or_else(|| format!("invalid --round-mb {v:?} (positive MiB)"))?;
+            (mb * (1 << 20) as f64) as usize
+        }
+    };
     let policy = match flags.named.get("policy").map(String::as_str) {
         None | Some("one") => SeedPolicy::Single,
         Some("1000") => SeedPolicy::MinDistance(1000),
@@ -134,10 +147,16 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         min_align_score: min_score,
         align_threads,
         transport,
+        max_exchange_bytes_per_round: round_bytes,
         ..Default::default()
     };
+    let round_cap = if round_bytes == usize::MAX {
+        "unbounded".to_owned()
+    } else {
+        format!("{:.2} MiB", round_bytes as f64 / (1 << 20) as f64)
+    };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s), transport {}",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s), transport {}, round cap {round_cap}",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
         cfg.multiplicity_threshold(),
@@ -152,6 +171,22 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         result.n_alignments_computed(),
         t.elapsed()
     );
+    if round_bytes != usize::MAX {
+        // Streaming rounds were capped: report the realized high-water
+        // mark so the memory bound is visible.
+        let peak = result
+            .reports
+            .iter()
+            .flat_map(|r| {
+                [&r.bloom_comm, &r.hash_comm, &r.overlap_comm, &r.align_comm]
+                    .map(|c| c.peak_round_bytes)
+            })
+            .max()
+            .unwrap_or(0);
+        eprintln!(
+            "dibella: peak exchange round {peak} B on any rank (cap {round_bytes} B)"
+        );
+    }
     if cfg.transport != TransportKind::SharedMem {
         // Under a simulated network the recorded exchange time is the
         // modeled platform's, not the host's — surface it.

@@ -1,0 +1,151 @@
+//! Integration tests of the streaming `RoundExchange` engine at pipeline
+//! scope: capping the per-round exchange bytes changes *how* the stages
+//! communicate (more, smaller, pipelined rounds) but never *what* they
+//! compute — alignments and per-destination traffic totals are
+//! bit-identical at every `(ranks, transport, round cap)` combination,
+//! and the per-round memory high-water mark respects the cap.
+
+use dibella::prelude::*;
+
+/// Overlapping reads off one deterministic pseudo-random genome. The
+/// small stride makes each read overlap its four neighbours on both
+/// sides, so at P > 1 plenty of alignment tasks reference remote reads —
+/// exercising the round-bounded read redistribution, not just the k-mer
+/// passes.
+fn dataset(n: usize, read_len: usize, stride: usize, seed: u64) -> ReadSet {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..(n * stride + read_len))
+        .map(|_| b"ACGT"[(rnd() % 4) as usize])
+        .collect();
+    (0..n as u32)
+        .map(|i| {
+            let s = i as usize * stride;
+            Read::new(i, format!("r{i}"), genome[s..s + read_len].to_vec())
+        })
+        .collect()
+}
+
+fn cfg(cap: usize, transport: TransportKind) -> PipelineConfig {
+    PipelineConfig {
+        k: 11,
+        seed_policy: SeedPolicy::MinDistance(11),
+        max_seeds_per_pair: 32,
+        max_multiplicity: Some(48),
+        max_exchange_bytes_per_round: cap,
+        transport,
+        ..Default::default()
+    }
+}
+
+const READ_LEN: usize = 200;
+/// Tiny enough that every stage needs several rounds on this dataset
+/// (even one 8-byte k-mer round cap would be ~32 records).
+const TINY_CAP: usize = 256;
+/// The largest wire record any stage ships: a stage-4 reply (8-byte
+/// header + full read).
+const MAX_RECORD: u64 = 8 + READ_LEN as u64;
+
+fn stage_comms(r: &dibella::pipeline::RankReport) -> [&dibella::comm::CommStats; 4] {
+    [&r.bloom_comm, &r.hash_comm, &r.overlap_comm, &r.align_comm]
+}
+
+#[test]
+fn round_cap_sweep_is_bit_identical() {
+    let reads = dataset(16, READ_LEN, 40, 13);
+    let transports = [
+        TransportKind::SharedMem,
+        TransportKind::SimNet(SimNetConfig { platform: PlatformId::CoriXC40, ranks_per_node: 2 }),
+    ];
+    let baseline = run_pipeline(&reads, 1, &cfg(usize::MAX, TransportKind::SharedMem));
+    assert!(baseline.alignments.len() >= 20, "dataset must produce work");
+
+    for p in [1usize, 2, 4] {
+        // Per-P traffic reference: the unbounded shared-memory run.
+        let reference = run_pipeline(&reads, p, &cfg(usize::MAX, TransportKind::SharedMem));
+        assert_eq!(reference.alignments, baseline.alignments, "P={p} default");
+
+        for transport in transports {
+            for cap in [TINY_CAP, 64 << 10, usize::MAX] {
+                let res = run_pipeline(&reads, p, &cfg(cap, transport));
+                // The headline invariant: science never moves.
+                assert_eq!(
+                    res.alignments, baseline.alignments,
+                    "P={p} cap={cap} transport={transport}: alignments diverged"
+                );
+                for (got, want) in res.reports.iter().zip(&reference.reports) {
+                    for (si, (cg, cw)) in
+                        stage_comms(got).iter().zip(stage_comms(want)).enumerate()
+                    {
+                        // Per-destination byte totals are independent of
+                        // the round split and of the transport.
+                        assert_eq!(
+                            cg.dest_bytes, cw.dest_bytes,
+                            "P={p} cap={cap} transport={transport} rank {} stage {si}",
+                            got.rank
+                        );
+                        // Rounds (= irregular calls) are what the cap moves;
+                        // the peak round volume must respect it.
+                        if cap != usize::MAX {
+                            assert!(
+                                cg.peak_round_bytes <= cap as u64 + MAX_RECORD,
+                                "P={p} cap={cap} rank {} stage {si}: peak {}",
+                                got.rank,
+                                cg.peak_round_bytes,
+                            );
+                        }
+                    }
+                    // At the default (unbounded) cap the whole traffic
+                    // profile — messages and call counts included — matches
+                    // the reference exactly.
+                    if cap == usize::MAX {
+                        for (cg, cw) in stage_comms(got).iter().zip(stage_comms(want)) {
+                            assert_eq!(cg.dest_msgs, cw.dest_msgs);
+                            assert_eq!(cg.alltoallv_calls, cw.alltoallv_calls);
+                            assert_eq!(cg.peak_round_bytes, cw.peak_round_bytes);
+                        }
+                    }
+                }
+                // The tiny cap must genuinely exercise the multi-round
+                // path in every stage (stage 4 needs remote reads, so at
+                // P = 1 its two exchanges stay two trivial rounds).
+                if cap == TINY_CAP {
+                    for r in &res.reports {
+                        assert!(r.bloom.rounds >= 3, "P={p}: bloom rounds {}", r.bloom.rounds);
+                        assert!(r.hash.rounds >= 3, "P={p}: hash rounds {}", r.hash.rounds);
+                        assert!(
+                            r.overlap.rounds >= 3,
+                            "P={p}: overlap rounds {}",
+                            r.overlap.rounds
+                        );
+                        if p > 1 {
+                            assert!(
+                                r.align.rounds >= 3,
+                                "P={p}: align rounds {}",
+                                r.align.rounds
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The FASTQ input path drives the same streamed stages; a capped run off
+/// raw bytes must reproduce the in-memory result exactly.
+#[test]
+fn round_cap_matches_across_input_paths() {
+    let reads = dataset(12, READ_LEN, 40, 29);
+    let mut fastq = Vec::new();
+    dibella::io::write_fastq(&mut fastq, &reads).unwrap();
+    let capped = cfg(TINY_CAP, TransportKind::SharedMem);
+    let mem = run_pipeline(&reads, 3, &capped);
+    let via_fastq = run_pipeline_fastq(&fastq, 3, &capped);
+    assert_eq!(mem.alignments, via_fastq.alignments);
+}

@@ -3,8 +3,10 @@
 //! caught before the heavier `end_to_end` / `model_projection` suites run.
 //!
 //! `DIBELLA_TRANSPORT` (`shared` | `sim:<platform>[:<ranks_per_node>]`)
-//! selects the communication backend, so CI smokes both the real and the
-//! simulated-network transports with the same assertions.
+//! selects the communication backend, and `DIBELLA_ROUND_MB` caps the
+//! streaming-exchange rounds, so CI smokes the real and simulated
+//! transports *and* the multi-round exchange path with the same
+//! assertions.
 
 use dibella::prelude::*;
 use std::time::Instant;
@@ -33,12 +35,24 @@ fn two_rank_pipeline_smoke() {
         .ok()
         .map(|v| v.parse().expect("DIBELLA_TRANSPORT"))
         .unwrap_or_default();
+    let round_bytes: usize = std::env::var("DIBELLA_ROUND_MB")
+        .ok()
+        .map(|v| {
+            let mb: f64 = v
+                .parse()
+                .ok()
+                .filter(|&m| m > 0.0)
+                .expect("DIBELLA_ROUND_MB: positive MiB");
+            (mb * (1 << 20) as f64) as usize
+        })
+        .unwrap_or(usize::MAX);
     let cfg = PipelineConfig {
         k: 15,
         depth: 3.0,
         error_rate: 0.0,
         max_multiplicity: Some(16),
         transport,
+        max_exchange_bytes_per_round: round_bytes,
         ..Default::default()
     };
     let res = run_pipeline(&reads, 2, &cfg);
@@ -49,6 +63,20 @@ fn two_rank_pipeline_smoke() {
     assert!(!res.alignments.is_empty());
     assert!(res.alignments.iter().all(|a| a.score > 0 && a.pair.a < a.pair.b));
     assert_eq!(res.reports.len(), 2, "one report per rank");
+    // Streaming-exchange accounting holds at any round cap: each stage's
+    // irregular-collective count equals its executed rounds, and no round
+    // exceeded the configured byte cap by more than one record.
+    for r in &res.reports {
+        assert_eq!(r.bloom_comm.alltoallv_calls, r.bloom.rounds);
+        assert_eq!(r.hash_comm.alltoallv_calls, r.hash.rounds);
+        assert_eq!(r.overlap_comm.alltoallv_calls, r.overlap.rounds);
+        assert_eq!(r.align_comm.alltoallv_calls, r.align.rounds);
+        if round_bytes != usize::MAX {
+            for c in [&r.bloom_comm, &r.hash_comm, &r.overlap_comm, &r.align_comm] {
+                assert!(c.peak_round_bytes <= round_bytes as u64 + 8 + 400);
+            }
+        }
+    }
 
     let elapsed = t0.elapsed();
     assert!(elapsed.as_secs_f64() < 5.0, "smoke test too slow: {elapsed:?}");

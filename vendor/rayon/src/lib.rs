@@ -133,6 +133,33 @@ impl ThreadPool {
 }
 
 // ---------------------------------------------------------------------------
+// Fire-and-forget spawn
+// ---------------------------------------------------------------------------
+
+/// Spawn an asynchronous task (mirrors `rayon::spawn`'s signature).
+///
+/// Real rayon queues the closure onto its resident, *bounded* global
+/// pool; this stand-in dedicates a fresh OS thread per call, which is a
+/// semantic the workspace deliberately relies on: `dibella-comm`'s split
+/// exchange helpers **block on a P-party barrier**, so all P of them must
+/// be able to run concurrently — on a bounded pool narrower than the rank
+/// world they would deadlock. Swapping the registry rayon back in
+/// therefore requires routing those helpers to dedicated threads (e.g.
+/// `std::thread::spawn`) rather than this function; see
+/// `vendor/README.md`. Every other use in the workspace is
+/// pool-compatible. Callers that need the result back use a channel,
+/// exactly as they would with real rayon.
+pub fn spawn<F>(func: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("rayon-spawn".into())
+        .spawn(func)
+        .expect("failed to spawn rayon task thread");
+}
+
+// ---------------------------------------------------------------------------
 // Parallel chunked map (the genuinely parallel part)
 // ---------------------------------------------------------------------------
 
@@ -458,6 +485,15 @@ mod tests {
         // Inside a running parallel operation the ambient width is pinned
         // to 1, so a nested par_chunks cannot over-spawn.
         assert!(widths.iter().all(|&w| w == 1), "widths = {widths:?}");
+    }
+
+    #[test]
+    fn spawn_runs_concurrently_and_delivers_result() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        crate::spawn(move || {
+            tx.send(6u32 * 7).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
     }
 
     #[test]

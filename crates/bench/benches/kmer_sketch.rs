@@ -98,6 +98,7 @@ fn bench_hash_table(c: &mut Criterion) {
         expected_distinct: 50_000,
         max_kmers_per_round: 1 << 20,
         max_exchange_bytes_per_round: usize::MAX,
+        extract_batch: 1024,
     };
     let mut g = c.benchmark_group("hash_table");
     g.sample_size(20);

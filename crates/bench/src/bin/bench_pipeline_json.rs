@@ -8,17 +8,19 @@
 //!
 //! (optionally pass an output path as the first argument). The file
 //! records one full 4-rank pipeline run on the fixed sampled E. coli 30×
-//! workload: per stage, the slowest rank's wall and exchange seconds, the
-//! executed streaming-exchange rounds, the total bytes shipped and the
-//! largest single-round send volume (`CommStats::peak_round_bytes` — the
-//! figure `--round-mb` / `DIBELLA_ROUND_MB` bounds), plus whole-pipeline
-//! wall and alignment counts.
+//! workload: per stage, the slowest rank's wall, exchange, pack and
+//! derived compute seconds (pack and exchange are concurrent intervals —
+//! their sum may exceed the wall; the excess is the engine's overlap),
+//! the executed streaming-exchange rounds, the total bytes shipped and
+//! the largest single-round send volume (`CommStats::peak_round_bytes` —
+//! the figure `--round-mb` / `DIBELLA_ROUND_MB` bounds), plus
+//! whole-pipeline wall and alignment counts.
 //!
 //! Perf PRs diff this file to leave a measurable end-to-end trajectory;
 //! wall seconds are machine-dependent (compare ratios across hosts), while
 //! rounds, bytes and peaks are exact and must only move when the exchange
 //! engine or the workload does. The usual knobs apply: `DIBELLA_SCALE`,
-//! `DIBELLA_TRANSPORT`, `DIBELLA_ALIGN_THREADS` and `DIBELLA_ROUND_MB`.
+//! `DIBELLA_TRANSPORT`, `DIBELLA_THREADS` and `DIBELLA_ROUND_MB`.
 
 use dibella_bench::{config_for, dataset, Workload};
 use dibella_core::{run_pipeline, RankReport};
@@ -27,16 +29,33 @@ use std::time::Instant;
 
 const RANKS: usize = 4;
 
-/// One stage's aggregate: `(name, wall_s_max, exchange_s_max, rounds_max,
-/// bytes_total, peak_round_bytes_max)`.
-fn stage_rows(reports: &[RankReport]) -> Vec<(&'static str, f64, f64, u64, u64, u64)> {
+/// One stage's aggregate row.
+struct StageRow {
+    name: &'static str,
+    wall_s_max: f64,
+    exchange_s_max: f64,
+    pack_s_max: f64,
+    compute_s_max: f64,
+    rounds_max: u64,
+    bytes_total: u64,
+    peak_round_bytes_max: u64,
+}
+
+fn stage_rows(reports: &[RankReport]) -> Vec<StageRow> {
     ["bloom", "hash", "overlap", "align"]
         .into_iter()
         .enumerate()
         .map(|(si, name)| {
-            let mut wall_max = 0.0f64;
-            let mut exch_max = 0.0f64;
-            let (mut rounds_max, mut bytes, mut peak) = (0u64, 0u64, 0u64);
+            let mut row = StageRow {
+                name,
+                wall_s_max: 0.0,
+                exchange_s_max: 0.0,
+                pack_s_max: 0.0,
+                compute_s_max: 0.0,
+                rounds_max: 0,
+                bytes_total: 0,
+                peak_round_bytes_max: 0,
+            };
             for r in reports {
                 let (timing, comm, rounds) = match si {
                     0 => (r.bloom_wall, &r.bloom_comm, r.bloom.rounds),
@@ -44,13 +63,15 @@ fn stage_rows(reports: &[RankReport]) -> Vec<(&'static str, f64, f64, u64, u64, 
                     2 => (r.overlap_wall, &r.overlap_comm, r.overlap.rounds),
                     _ => (r.align_wall, &r.align_comm, r.align.rounds),
                 };
-                wall_max = wall_max.max(timing.total.as_secs_f64());
-                exch_max = exch_max.max(timing.exchange.as_secs_f64());
-                rounds_max = rounds_max.max(rounds);
-                bytes += comm.total_bytes();
-                peak = peak.max(comm.peak_round_bytes);
+                row.wall_s_max = row.wall_s_max.max(timing.total.as_secs_f64());
+                row.exchange_s_max = row.exchange_s_max.max(timing.exchange.as_secs_f64());
+                row.pack_s_max = row.pack_s_max.max(timing.pack.as_secs_f64());
+                row.compute_s_max = row.compute_s_max.max(timing.compute().as_secs_f64());
+                row.rounds_max = row.rounds_max.max(rounds);
+                row.bytes_total += comm.total_bytes();
+                row.peak_round_bytes_max = row.peak_round_bytes_max.max(comm.peak_round_bytes);
             }
-            (name, wall_max, exch_max, rounds_max, bytes, peak)
+            row
         })
         .collect()
 }
@@ -73,18 +94,27 @@ fn main() {
     };
     let stages: Vec<String> = rows
         .iter()
-        .map(|(name, wall, exch, rounds, bytes, peak)| {
+        .map(|r| {
             format!(
-                "    \"{name}\": {{ \"wall_s_max\": {wall:.6}, \"exchange_s_max\": {exch:.6}, \"rounds\": {rounds}, \"bytes_total\": {bytes}, \"peak_round_bytes_max\": {peak} }}"
+                "    \"{}\": {{ \"wall_s_max\": {:.6}, \"exchange_s_max\": {:.6}, \"pack_s_max\": {:.6}, \"compute_s_max\": {:.6}, \"rounds\": {}, \"bytes_total\": {}, \"peak_round_bytes_max\": {} }}",
+                r.name,
+                r.wall_s_max,
+                r.exchange_s_max,
+                r.pack_s_max,
+                r.compute_s_max,
+                r.rounds_max,
+                r.bytes_total,
+                r.peak_round_bytes_max,
             )
         })
         .collect();
     let alignments: u64 = res.n_alignments_computed();
     let json = format!(
-        "{{\n  \"schema\": \"dibella-pipeline-baseline/1\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {},\n  \"ranks\": {RANKS},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"stages\": {{\n{}\n  }},\n  \"pipeline\": {{ \"wall_s\": {elapsed:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {alignments}, \"pairs\": {} }}\n}}\n",
+        "{{\n  \"schema\": \"dibella-pipeline-baseline/2\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {},\n  \"ranks\": {RANKS},\n  \"threads\": {},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"stages\": {{\n{}\n  }},\n  \"pipeline\": {{ \"wall_s\": {elapsed:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {alignments}, \"pairs\": {} }}\n}}\n",
         workload.name(),
         ds.reads.len(),
         ds.reads.total_bases(),
+        cfg.effective_threads(),
         cfg.transport,
         stages.join(",\n"),
         res.wall().as_secs_f64(),

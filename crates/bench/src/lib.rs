@@ -10,9 +10,11 @@
 //! Scale knobs (environment): `DIBELLA_SCALE` (E. coli 30×-like genome
 //! scale, default 0.01 ≈ 46 kb) and `DIBELLA_SCALE_100X` (100×-like,
 //! default 0.006). `scale = 1.0` reproduces paper-sized inputs.
-//! `DIBELLA_ALIGN_THREADS` sets the intra-rank alignment thread count
-//! (default 1; `0` = all hardware threads) — results are bit-identical
-//! at every setting, only wall time changes. `DIBELLA_TRANSPORT`
+//! `DIBELLA_THREADS` sets the intra-rank thread count of all four stages
+//! (default 1; `0` = all hardware threads; the deprecated
+//! `DIBELLA_ALIGN_THREADS` spelling still works) — results are
+//! bit-identical at every setting, only wall time changes.
+//! `DIBELLA_TRANSPORT`
 //! (`shared` | `sim:<platform>[:<ranks_per_node>]`) selects the
 //! communication backend: under `sim:*` the pipeline executes on a
 //! modeled interconnect — counters and alignments are unchanged, but the
@@ -71,13 +73,17 @@ fn env_scale(var: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-/// The `DIBELLA_ALIGN_THREADS` environment knob: intra-rank threads for
-/// the alignment stage (see [`dibella_core::PipelineConfig::align_threads`]).
+/// The `DIBELLA_THREADS` environment knob (with the deprecated
+/// `DIBELLA_ALIGN_THREADS` as fallback): intra-rank threads for every
+/// pipeline stage (see [`dibella_core::PipelineConfig::threads`]).
+pub fn env_threads() -> usize {
+    PipelineConfig::env_threads()
+}
+
+/// **Deprecated alias** for [`env_threads`] — the knob now governs all
+/// four stages, not just alignment.
 pub fn env_align_threads() -> usize {
-    std::env::var("DIBELLA_ALIGN_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    env_threads()
 }
 
 /// The `DIBELLA_TRANSPORT` environment knob: which communication backend
@@ -133,7 +139,7 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         error_rate,
         seed_policy: policy,
         max_seeds_per_pair: 4,
-        align_threads: env_align_threads(),
+        threads: Some(env_threads()),
         transport: env_transport(),
         max_exchange_bytes_per_round: env_round_bytes(),
         ..Default::default()
@@ -285,6 +291,22 @@ mod tests {
         assert_eq!(env_round_bytes(), 1 << 19);
         std::env::remove_var("DIBELLA_ROUND_MB");
         assert_eq!(env_round_bytes(), usize::MAX);
+    }
+
+    #[test]
+    fn threads_env_knob() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DIBELLA_THREADS", "3");
+        std::env::set_var("DIBELLA_ALIGN_THREADS", "9");
+        assert_eq!(env_threads(), 3, "DIBELLA_THREADS wins");
+        assert_eq!(
+            config_for(Workload::E30, SeedPolicy::Single).effective_threads(),
+            3
+        );
+        std::env::remove_var("DIBELLA_THREADS");
+        assert_eq!(env_threads(), 9, "deprecated spelling still honored");
+        std::env::remove_var("DIBELLA_ALIGN_THREADS");
+        assert_eq!(env_threads(), 1);
     }
 
     #[test]

@@ -140,6 +140,15 @@ impl Comm {
         self.transport.exchange_start(self.rank, send)
     }
 
+    /// Credit `d` of send-buffer packing time to this stage's counters
+    /// (`CommStats::pack_wall`). Called by `RoundExchange` around its pack
+    /// closures; packing happens outside collective calls but is part of
+    /// the streaming-exchange engine's work, so it is accounted here
+    /// rather than left to disappear into the stage's residual compute.
+    pub fn add_pack_wall(&self, d: Duration) {
+        self.stats.borrow_mut().pack_wall += d;
+    }
+
     /// Finish an exchange begun by [`Self::exchange_start`], charging the
     /// backend's wall time with no declared overlap.
     pub fn exchange_wait(&self, pending: InFlight) -> Vec<Vec<u8>> {

@@ -1,0 +1,158 @@
+//! The shared batched stage executor: deterministic intra-rank
+//! parallelism for every pipeline stage.
+//!
+//! diBELLA's design point is *hybrid* parallelism — distributed ranks each
+//! running multi-threaded stage work (the paper ran one MPI rank per NUMA
+//! domain with threads inside). This module is the single engine all four
+//! stages thread their compute through, built on one discipline, stated
+//! once:
+//!
+//! 1. **Fixed-size batches.** Work is split into batches whose boundaries
+//!    are a pure function of the *input* (slice length, window index, pair
+//!    index) — never of the thread count.
+//! 2. **Isolated batch results.** A batch computes into its own output
+//!    (routed buckets, alignment records, counters); batches share nothing
+//!    mutable.
+//! 3. **Merge in batch order.** Results are concatenated/merged in batch
+//!    index order, which the vendored rayon's indexed `collect()`
+//!    guarantees at any width.
+//!
+//! Together these make every stage's output — wire bytes, counters,
+//! alignments — **bit-identical at any thread count**, which is what lets
+//! the test matrix sweep `threads × transport × round cap` and demand
+//! equality rather than statistical agreement.
+//!
+//! The executor lives in `dibella-comm` (not `-core`) because the stage
+//! crates (`kcount`, `overlap`) sit below `core` in the dependency graph:
+//! it is the compute half of the stage engine whose communication half is
+//! [`crate::RoundExchange`].
+
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Deterministic batched map executor shared by stages 1–4.
+///
+/// `new(threads)` resolves the pipeline `threads` knob once; stages then
+/// call [`map_indexed`](Self::map_indexed) (batch descriptors computed
+/// from the index) or [`map_batches`](Self::map_batches) (batches are
+/// slices of a task list). Width 1 short-circuits to a plain sequential
+/// loop — the single-threaded pipeline pays no pool or scheduling cost.
+#[derive(Debug)]
+pub struct BatchedExecutor {
+    /// `None` when width is 1 (sequential fast path).
+    pool: Option<ThreadPool>,
+    threads: usize,
+}
+
+impl BatchedExecutor {
+    /// An executor of `threads` workers; `0` means the hardware
+    /// parallelism (as in rayon).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let pool = (threads > 1).then(|| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build stage executor pool")
+        });
+        Self { pool, threads }
+    }
+
+    /// The sequential executor (width 1) — what library entry points use
+    /// when the caller doesn't thread.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolved worker count (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over batch indices `0..n_batches`, collecting results **in
+    /// index order**. The batch a given index denotes must be derived from
+    /// the index (and captured input) alone, so the decomposition is
+    /// identical at any width.
+    pub fn map_indexed<R, F>(&self, n_batches: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        match &self.pool {
+            Some(pool) if n_batches > 1 => {
+                // Capture by reference: `&F` is `Send` whenever `F: Sync`,
+                // which is all `install` needs to move the op in.
+                let f = &f;
+                pool.install(move || (0..n_batches).into_par_iter().map(f).collect())
+            }
+            _ => (0..n_batches).map(f).collect(),
+        }
+    }
+
+    /// Map `f` over contiguous chunks of at most `batch` items, collecting
+    /// results **in chunk order** — the stage-4 shape (a materialized task
+    /// list sharded into fixed batches).
+    pub fn map_batches<T, R, F>(&self, items: &[T], batch: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        assert!(batch > 0, "batch size must be non-zero");
+        let n = items.len().div_ceil(batch);
+        self.map_indexed(n, |i| {
+            let lo = i * batch;
+            let hi = (lo + batch).min(items.len());
+            f(&items[lo..hi])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_bit_for_bit() {
+        let items: Vec<u32> = (0..997).collect();
+        let seq = BatchedExecutor::sequential();
+        let want: Vec<u64> =
+            seq.map_batches(&items, 32, |b| b.iter().map(|&x| x as u64).sum::<u64>());
+        for threads in [2usize, 3, 4, 0] {
+            let exec = BatchedExecutor::new(threads);
+            assert!(exec.threads() >= 1);
+            let got: Vec<u64> =
+                exec.map_batches(&items, 32, |b| b.iter().map(|&x| x as u64).sum::<u64>());
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let exec = BatchedExecutor::new(4);
+        let got = exec.map_indexed(100, |i| i * i);
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_resolves_to_hardware_and_one_builds_no_pool() {
+        assert!(BatchedExecutor::new(0).threads() >= 1);
+        let one = BatchedExecutor::new(1);
+        assert_eq!(one.threads(), 1);
+        assert!(one.pool.is_none(), "width 1 must not build a pool");
+    }
+
+    #[test]
+    fn empty_input() {
+        let exec = BatchedExecutor::new(4);
+        let got: Vec<u64> = exec.map_batches(&[] as &[u32], 8, |_| 0u64);
+        assert!(got.is_empty());
+        let got = exec.map_indexed(0, |i| i);
+        assert!(got.is_empty());
+    }
+}

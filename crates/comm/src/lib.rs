@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod comm;
+pub mod executor;
 mod hub;
 pub mod round_exchange;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod wire;
 mod world;
 
 pub use comm::Comm;
+pub use executor::BatchedExecutor;
 pub use round_exchange::{records_per_round, ByteRounds, RoundExchange, RoundPlan};
 pub use stats::CommStats;
 pub use transport::{

@@ -208,14 +208,46 @@ impl RoundExchange {
     /// equals the number of `alltoallv` calls the exchange added to this
     /// rank's `CommStats`. `pack` may be called for rounds beyond the
     /// rank's local need and must then return empty (or exhausted-stream)
-    /// buffers.
-    pub fn run<P, C>(comm: &Comm, planner: RoundPlan, mut pack: P, mut consume: C) -> u64
+    /// buffers. Time spent in `pack` is credited to
+    /// `CommStats::pack_wall`.
+    pub fn run<P, C>(comm: &Comm, planner: RoundPlan, pack: P, consume: C) -> u64
     where
         P: FnMut(u64) -> Vec<Vec<u8>>,
         C: FnMut(u64, Vec<Vec<u8>>),
     {
+        Self::run_with_tail(comm, planner, pack, consume, || {})
+    }
+
+    /// [`Self::run`] with cross-stage overlap: `tail` runs on the rank
+    /// thread while the **last** round is in flight on the transport's
+    /// exchange helper — the window in which `run` has nothing left to
+    /// pack. A stage uses it to start the *next* stage's local work (e.g.
+    /// pre-packing that stage's first round from data it already owns)
+    /// under the final exchange instead of after it.
+    ///
+    /// `tail`'s duration is declared to the transport as overlapped
+    /// compute, so `SimNet` charges `max(tail + pack, modeled exchange)`
+    /// for the final round — projections stay honest about what the
+    /// overlap can hide. It is *not* credited to `pack_wall`: the work
+    /// belongs to the next stage, only its hiding place belongs to this
+    /// one.
+    pub fn run_with_tail<P, C, T>(
+        comm: &Comm,
+        planner: RoundPlan,
+        mut pack: P,
+        mut consume: C,
+        tail: T,
+    ) -> u64
+    where
+        P: FnMut(u64) -> Vec<Vec<u8>>,
+        C: FnMut(u64, Vec<Vec<u8>>),
+        T: FnOnce(),
+    {
         let rounds = comm.allreduce_max_u64(planner.local_rounds().max(1));
+        let mut tail = Some(tail);
+        let t0 = Instant::now();
         let mut next = pack(0);
+        comm.add_pack_wall(t0.elapsed());
         for round in 0..rounds {
             let pending = comm.exchange_start(next);
             let packing = Instant::now();
@@ -224,7 +256,16 @@ impl RoundExchange {
             } else {
                 Vec::new()
             };
-            let recv = comm.exchange_wait_overlapped(pending, packing.elapsed());
+            let mut overlapped = packing.elapsed();
+            comm.add_pack_wall(overlapped);
+            if round + 1 == rounds {
+                if let Some(tail) = tail.take() {
+                    let t = Instant::now();
+                    tail();
+                    overlapped += t.elapsed();
+                }
+            }
+            let recv = comm.exchange_wait_overlapped(pending, overlapped);
             consume(round, recv);
         }
         rounds
@@ -361,6 +402,55 @@ mod tests {
             )
         });
         assert_eq!(rounds, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn tail_runs_exactly_once_during_the_last_round() {
+        // The tail must fire once per rank, after the last round's
+        // exchange_start but before its consume — consume(last) must be
+        // able to see the tail's side effects.
+        let outs = CommWorld::run(3, |comm| {
+            let tail_ran = std::cell::Cell::new(0u32);
+            let mut seen = Vec::new();
+            let plan = RoundPlan::from_rounds(if comm.rank() == 0 { 3 } else { 1 });
+            let rounds = RoundExchange::run_with_tail(
+                comm,
+                plan,
+                |_r| vec![Vec::new(); comm.size()],
+                |_r, _recv| seen.push(tail_ran.get()),
+                || tail_ran.set(tail_ran.get() + 1),
+            );
+            (rounds, tail_ran.get(), seen)
+        });
+        for (rounds, ran, seen) in outs {
+            assert_eq!(rounds, 3);
+            assert_eq!(ran, 1, "tail must run exactly once");
+            assert_eq!(seen, vec![0, 0, 1], "tail fires during the last round");
+        }
+    }
+
+    #[test]
+    fn pack_time_is_credited_to_pack_wall() {
+        let stats = CommWorld::run(2, |comm| {
+            RoundExchange::run(
+                comm,
+                RoundPlan::from_rounds(2),
+                |_r| {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    vec![Vec::new(); comm.size()]
+                },
+                |_r, _recv| {},
+            );
+            comm.take_stats()
+        });
+        for s in stats {
+            // pack(0) plus the overlapped pack(1): at least 2 calls × 2 ms.
+            assert!(
+                s.pack_wall >= std::time::Duration::from_millis(4),
+                "pack_wall = {:?}",
+                s.pack_wall
+            );
+        }
     }
 
     #[test]

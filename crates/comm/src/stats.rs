@@ -36,6 +36,13 @@ pub struct CommStats {
     /// host is not oversubscribed; the figure harness uses byte counts
     /// instead).
     pub exchange_wall: Duration,
+    /// Wall-clock time spent packing per-destination send buffers for the
+    /// streaming exchanges (`RoundExchange` reports it via
+    /// [`crate::Comm::add_pack_wall`]). Packing of round `i + 1` runs while
+    /// round `i` is in flight, so `pack_wall` and `exchange_wall` measure
+    /// *concurrent* intervals — their sum can exceed the stage wall, which
+    /// is precisely the overlap the engine buys.
+    pub pack_wall: Duration,
 }
 
 impl CommStats {
@@ -101,6 +108,7 @@ impl CommStats {
         self.barriers += other.barriers;
         self.peak_round_bytes = self.peak_round_bytes.max(other.peak_round_bytes);
         self.exchange_wall += other.exchange_wall;
+        self.pack_wall += other.pack_wall;
     }
 
     pub(crate) fn record_exchange(&mut self, sizes: impl Iterator<Item = usize>) {
@@ -160,11 +168,14 @@ mod tests {
         let mut b = CommStats::new(2);
         b.record_exchange([10usize, 0].into_iter());
         b.barriers = 3;
+        b.pack_wall = Duration::from_millis(7);
+        a.pack_wall = Duration::from_millis(2);
         a.merge(&b);
         assert_eq!(a.dest_bytes, vec![11, 2]);
         assert_eq!(a.dest_msgs, vec![2, 1]);
         assert_eq!(a.alltoallv_calls, 2);
         assert_eq!(a.barriers, 3);
+        assert_eq!(a.pack_wall, Duration::from_millis(9));
         // The peak is the max across the merged stats, not a sum.
         assert_eq!(a.peak_round_bytes, 10);
     }

@@ -18,25 +18,22 @@
 //! # Intra-rank parallelism
 //!
 //! The local alignment loop is the pipeline's dominant compute cost
-//! (paper Figure 7 and the §9 breakdowns), so [`align_tasks`] is a
-//! *hybrid-parallel* executor: tasks are sharded into fixed-size batches
-//! of [`ALIGN_BATCH_TASKS`], each batch is aligned independently on a
-//! thread pool of [`PipelineConfig::align_threads`] workers, and the
-//! per-batch `(records, counters)` results are merged back **in batch
-//! order**. Batch boundaries depend only on the task list — never on the
-//! thread count — so output records and [`AlignCounters`] are
-//! bit-identical for every `align_threads` value, including the
-//! sequential `1`.
+//! (paper Figure 7 and the §9 breakdowns), so [`align_tasks`] runs on the
+//! pipeline's shared [`BatchedExecutor`]: tasks are sharded into
+//! fixed-size batches of [`ALIGN_BATCH_TASKS`], each batch is aligned
+//! independently, and the per-batch `(records, counters)` results are
+//! merged back **in batch order**. Batch boundaries depend only on the
+//! task list — never on the thread count — so output records and
+//! [`AlignCounters`] are bit-identical for every
+//! [`PipelineConfig::threads`] value, including the sequential `1`.
 
 use crate::config::PipelineConfig;
 use crate::record::AlignmentRecord;
 use dibella_align::{extend_seed_with_workspace, AlignWorkspace, SeedHit};
-use dibella_comm::{decode_iter, encode_slice, ByteRounds, Comm, RoundExchange};
+use dibella_comm::{decode_iter, encode_slice, BatchedExecutor, ByteRounds, Comm, RoundExchange};
 use dibella_io::{ReadId, ReadStore};
 use dibella_kmer::base::reverse_complement_ascii_into;
 use dibella_overlap::OverlapTask;
-use rayon::prelude::*;
-use rayon::ThreadPoolBuilder;
 use std::cell::RefCell;
 use std::collections::HashSet;
 
@@ -217,9 +214,9 @@ pub fn align_tasks(
     tasks: &[OverlapTask],
     cfg: &PipelineConfig,
     counters: &mut AlignCounters,
+    exec: &BatchedExecutor,
 ) -> Vec<AlignmentRecord> {
-    let threads = cfg.effective_align_threads();
-    if threads <= 1 {
+    if exec.threads() <= 1 {
         // Sequential fast path: one pass over the whole task list (batch
         // boundaries cannot affect output, so sharding would only cost
         // allocations on the pipeline's default hot path).
@@ -227,16 +224,8 @@ pub fn align_tasks(
         counters.merge(&pass_counters);
         return out;
     }
-    let pool = ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("alignment thread pool");
-    let batches: Vec<(Vec<AlignmentRecord>, AlignCounters)> = pool.install(|| {
-        tasks
-            .par_chunks(ALIGN_BATCH_TASKS)
-            .map(|batch| align_batch(store, batch, cfg))
-            .collect()
-    });
+    let batches =
+        exec.map_batches(tasks, ALIGN_BATCH_TASKS, |batch| align_batch(store, batch, cfg));
     // Merge in batch order: records concatenate to exactly the sequential
     // output; counters are field-wise sums.
     let mut out = Vec::new();
@@ -447,7 +436,7 @@ mod tests {
             seeds: vec![SharedSeed { a_pos: 60, b_pos: 10, reverse: false }],
         }];
         let mut c = AlignCounters::default();
-        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c, &BatchedExecutor::sequential());
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
         // Perfect 50-base overlap: score = 50, spanning a[50..100], b[0..50].
@@ -483,7 +472,7 @@ mod tests {
             seeds: vec![SharedSeed { a_pos: 20, b_pos: 43, reverse: true }],
         }];
         let mut c = AlignCounters::default();
-        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c, &BatchedExecutor::sequential());
         assert_eq!(recs.len(), 1);
         // Full-length reverse overlap: 80 matches.
         assert_eq!(recs[0].score, 80);
@@ -525,18 +514,17 @@ mod tests {
         }
         assert!(tasks.len() > 10 * ALIGN_BATCH_TASKS);
 
-        let base_cfg = PipelineConfig { k: 17, ..Default::default() };
+        let cfg = PipelineConfig { k: 17, ..Default::default() };
         let mut seq_counters = AlignCounters::default();
-        let seq_cfg = PipelineConfig { align_threads: 1, ..base_cfg.clone() };
-        let seq = align_tasks(&store, &tasks, &seq_cfg, &mut seq_counters);
+        let seq = align_tasks(&store, &tasks, &cfg, &mut seq_counters, &BatchedExecutor::sequential());
         assert_eq!(seq_counters.tasks, tasks.len() as u64);
 
         for threads in [2usize, 4, 0] {
-            let cfg = PipelineConfig { align_threads: threads, ..base_cfg.clone() };
+            let exec = BatchedExecutor::new(threads);
             let mut counters = AlignCounters::default();
-            let par = align_tasks(&store, &tasks, &cfg, &mut counters);
-            assert_eq!(par, seq, "records diverge at align_threads = {threads}");
-            assert_eq!(counters, seq_counters, "counters diverge at align_threads = {threads}");
+            let par = align_tasks(&store, &tasks, &cfg, &mut counters, &exec);
+            assert_eq!(par, seq, "records diverge at threads = {threads}");
+            assert_eq!(counters, seq_counters, "counters diverge at threads = {threads}");
         }
     }
 
@@ -552,7 +540,7 @@ mod tests {
             seeds: vec![SharedSeed { a_pos: 0, b_pos: 0, reverse: false }],
         }];
         let mut c = AlignCounters::default();
-        let recs = align_tasks(&store, &tasks, &cfg, &mut c);
+        let recs = align_tasks(&store, &tasks, &cfg, &mut c, &BatchedExecutor::sequential());
         assert!(recs.is_empty());
         assert_eq!(c.alignments, 1);
         assert_eq!(c.accepted, 0);

@@ -48,12 +48,20 @@ pub struct PipelineConfig {
     /// Alignment-task placement: the paper's parity heuristic, or the §9
     /// future-work longer-read placement that minimizes read movement.
     pub placement: TaskPlacement,
-    /// Intra-rank threads for the alignment stage (hybrid parallelism,
-    /// paper §9 / diBELLA 2D lineage): `1` = sequential (the default),
-    /// `0` = one thread per hardware core, `n` = exactly `n` threads.
-    /// Results are bit-identical for every value — tasks are sharded into
-    /// fixed-size batches and merged back in batch order.
+    /// **Deprecated alias** for [`PipelineConfig::threads`], kept so
+    /// existing configs and the `--align-threads` / `DIBELLA_ALIGN_THREADS`
+    /// spellings keep working: it is only consulted when `threads` is
+    /// `None`. Historically this knob threaded the alignment stage alone;
+    /// the whole pipeline now runs on one executor.
     pub align_threads: usize,
+    /// Intra-rank threads for **all four stages** (hybrid parallelism,
+    /// paper §9 / diBELLA 2D lineage): `1` = sequential, `0` = one thread
+    /// per hardware core, `n` = exactly `n` threads. `None` (the default)
+    /// falls back to the deprecated [`PipelineConfig::align_threads`].
+    /// Every stage shards its work into fixed-size batches on the shared
+    /// `BatchedExecutor` and merges in batch order, so results are
+    /// bit-identical for every value.
+    pub threads: Option<usize>,
     /// Communication backend the SPMD world runs on: `SharedMem` (the
     /// default) executes collectives through real shared memory;
     /// `SimNet(platform, ranks_per_node)` runs the same byte-identical
@@ -80,6 +88,7 @@ impl Default for PipelineConfig {
             hll_precision: None,
             placement: TaskPlacement::Parity,
             align_threads: 1,
+            threads: None,
             transport: TransportKind::SharedMem,
         }
     }
@@ -109,14 +118,41 @@ impl PipelineConfig {
         kc
     }
 
-    /// The alignment-stage thread count actually used: `align_threads`,
-    /// with `0` resolved to the hardware parallelism.
-    pub fn effective_align_threads(&self) -> usize {
-        if self.align_threads == 0 {
+    /// The intra-rank thread count every stage actually runs with — the
+    /// single resolution point for the `threads` knob: `threads` if set
+    /// (falling back to the deprecated `align_threads`), with `0` resolved
+    /// to the hardware parallelism.
+    pub fn effective_threads(&self) -> usize {
+        let n = self.threads.unwrap_or(self.align_threads);
+        if n == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
-            self.align_threads
+            n
         }
+    }
+
+    /// **Deprecated alias** for [`PipelineConfig::effective_threads`] —
+    /// the stages share one thread pool, so there is no longer a separate
+    /// alignment-stage width.
+    pub fn effective_align_threads(&self) -> usize {
+        self.effective_threads()
+    }
+
+    /// The thread count requested via the environment: `DIBELLA_THREADS`,
+    /// falling back to the deprecated `DIBELLA_ALIGN_THREADS` spelling,
+    /// defaulting to `1` (sequential) when neither is set. Panics on an
+    /// unparsable value — a silently ignored perf knob is worse than a
+    /// crash. Feed the result to [`PipelineConfig::threads`].
+    pub fn env_threads() -> usize {
+        for var in ["DIBELLA_THREADS", "DIBELLA_ALIGN_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                return v
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("{var} must be a thread count, got {v:?}"));
+            }
+        }
+        1
     }
 
     /// Derive the overlap-stage configuration.
@@ -126,6 +162,7 @@ impl PipelineConfig {
             max_seeds_per_pair: self.max_seeds_per_pair,
             placement: self.placement,
             max_exchange_bytes_per_round: self.max_exchange_bytes_per_round,
+            pair_batch: OverlapConfig::DEFAULT_PAIR_BATCH,
         }
     }
 }
@@ -174,5 +211,21 @@ mod tests {
         let capped = PipelineConfig { max_exchange_bytes_per_round: 1 << 20, ..Default::default() };
         assert_eq!(capped.kcount(1_000).max_exchange_bytes_per_round, 1 << 20);
         assert_eq!(capped.overlap().max_exchange_bytes_per_round, 1 << 20);
+    }
+
+    #[test]
+    fn threads_knob_resolution() {
+        // Default: sequential via the deprecated alias.
+        assert_eq!(PipelineConfig::default().effective_threads(), 1);
+        // threads wins over align_threads when set.
+        let cfg = PipelineConfig { threads: Some(3), align_threads: 7, ..Default::default() };
+        assert_eq!(cfg.effective_threads(), 3);
+        assert_eq!(cfg.effective_align_threads(), 3, "alias must delegate");
+        // Unset threads falls back to the alias.
+        let cfg = PipelineConfig { align_threads: 5, ..Default::default() };
+        assert_eq!(cfg.effective_threads(), 5);
+        // 0 means hardware parallelism, through either spelling.
+        assert!(PipelineConfig { threads: Some(0), ..Default::default() }.effective_threads() >= 1);
+        assert!(PipelineConfig { align_threads: 0, ..Default::default() }.effective_threads() >= 1);
     }
 }

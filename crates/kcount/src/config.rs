@@ -25,6 +25,13 @@ pub struct KcountConfig {
     /// tighter bounds a round — the `--round-mb` knob every stage of the
     /// pipeline shares.
     pub max_exchange_bytes_per_round: usize,
+    /// Windows per executor batch when extraction is threaded: each
+    /// exchange round's window range is cut into fixed batches of this
+    /// many k-mer windows, extracted in parallel and merged in batch
+    /// order. Pure function of the input — never of the thread count — so
+    /// any value is deterministic; tests shrink it to force many batches
+    /// on tiny reads.
+    pub extract_batch: usize,
 }
 
 impl KcountConfig {
@@ -47,8 +54,14 @@ impl KcountConfig {
             expected_distinct,
             max_kmers_per_round: 1 << 20,
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: Self::DEFAULT_EXTRACT_BATCH,
         }
     }
+
+    /// Default executor batch size for threaded extraction: big enough to
+    /// amortize per-batch routing buffers, small enough that a default
+    /// round (2²⁰ k-mers) splits into ~1k batches for dynamic scheduling.
+    pub const DEFAULT_EXTRACT_BATCH: usize = 1024;
 
     /// Per-rank share of the expected distinct k-mer set.
     pub fn expected_distinct_per_rank(&self, ranks: usize) -> u64 {

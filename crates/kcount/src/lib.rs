@@ -19,5 +19,8 @@ pub mod table;
 
 pub use cardinality::hll_cardinality;
 pub use config::KcountConfig;
-pub use stages::{bloom_stage, hash_stage, BloomOutput, HashOutput, KmerStageCounters};
+pub use stages::{
+    bloom_stage, bloom_stage_overlapping, hash_stage, hash_stage_prepacked, BloomOutput,
+    HashOutput, KmerStageCounters, PrepackedKmerRound,
+};
 pub use table::{FilterStats, KmerEntry, KmerHashTable, Occurrence};

@@ -5,10 +5,21 @@
 //! streaming fashion with a subset of input data at a time to limit the
 //! memory consumption"). Each pass is one
 //! [`dibella_comm::RoundExchange`] drive: a shared packer
-//! (`pack_kmer_round`) walks the rank's k-mer stream and routes records
-//! to their owners, the engine agrees the world-wide round count and
-//! overlaps each round's exchange with the packing of the next, and the
-//! pass's consumer folds received records into its Bloom/hash partition.
+//! (`pack_kmer_windows`) extracts and routes the rank's k-mers to their
+//! owners, the engine agrees the world-wide round count and overlaps each
+//! round's exchange with the packing of the next, and the pass's consumer
+//! folds received records into its Bloom/hash partition.
+//!
+//! Extraction is *threaded* through the shared
+//! [`BatchedExecutor`]: a round's window range (a cut of the rank-global
+//! [`WindowIndex`] space) is sharded into fixed `extract_batch`-window
+//! batches, each batch extracts and routes into its own per-destination
+//! buffers, and buffers are concatenated in batch order — wire bytes are
+//! bit-identical at any thread count. Cross-stage overlap: while the
+//! Bloom pass's **last** round is in flight,
+//! [`bloom_stage_overlapping`] pre-packs the hash pass's first round (the
+//! reads are local, so it depends on nothing in flight), which
+//! [`hash_stage_prepacked`] then ships as its round 0.
 //!
 //! Wire sizes mirror the paper's volumes: a Bloom-pass record is the
 //! 8-byte packed k-mer, a hash-pass record adds read ID, position and
@@ -17,11 +28,13 @@
 use crate::config::KcountConfig;
 use crate::table::{KmerHashTable, Occurrence};
 use dibella_comm::{
-    decode_iter, encode_slice, records_per_round, Comm, RoundExchange, RoundPlan, Wire,
+    decode_iter, encode_slice, records_per_round, BatchedExecutor, Comm, RoundExchange, RoundPlan,
+    Wire,
 };
 use dibella_io::Read;
-use dibella_kmer::{kmer_count, Kmer1, KmerHit, KmerIter, Strand};
+use dibella_kmer::{window_hits, Kmer1, KmerHit, Strand, WindowIndex};
 use dibella_sketch::BloomFilter;
+use std::cell::RefCell;
 
 /// Bloom-pass record: the packed canonical k-mer word.
 type BloomMsg = u64;
@@ -58,39 +71,81 @@ pub struct BloomOutput {
     pub counters: KmerStageCounters,
 }
 
-/// Iterate `(read, hit)` pairs over a read slice in k-mer order.
-fn kmer_stream<'a>(
-    reads: &'a [Read],
-    k: usize,
-) -> impl Iterator<Item = (&'a Read, KmerHit<1>)> + 'a {
-    reads
-        .iter()
-        .flat_map(move |r| KmerIter::<1>::new(&r.seq, k).map(move |h| (r, h)))
+/// The Bloom-pass record for one k-mer hit.
+fn bloom_msg(_read: &Read, hit: &KmerHit<1>) -> BloomMsg {
+    hit.kmer.words()[0]
 }
 
-/// Pack one exchange round of both k-mer passes: draw up to `per_round`
-/// k-mers from `stream`, route each to its owner's rank by hash, and
-/// encode the per-destination buffers to wire bytes. `to_msg` is the only
-/// thing that differs between the passes — the bare packed word for the
-/// Bloom pass, the word plus `(read, position, strand)` for the hash pass.
-fn pack_kmer_round<'a, M, I, F>(
-    stream: &mut I,
-    per_round: usize,
+/// The hash-pass record for one k-mer hit.
+fn hash_msg(read: &Read, hit: &KmerHit<1>) -> HashMsg {
+    (
+        hit.kmer.words()[0],
+        read.id,
+        hit.pos,
+        hit.strand.as_u8() as u32,
+    )
+}
+
+/// Pack the global window range `[lo, hi)` of both k-mer passes: shard it
+/// into fixed `batch_windows`-window executor batches, extract each
+/// batch's k-mers ([`window_hits`] over the [`WindowIndex`] pieces), route
+/// every hit to its owner's rank by hash and encode per-destination wire
+/// bytes — then concatenate the buffers in batch order. Concatenating
+/// encoded slices equals encoding the concatenated record stream, so the
+/// result is byte-identical to a sequential single-pass pack at any
+/// thread count. Returns the buffers and the number of hits parsed
+/// (ambiguous bases make hits < windows).
+///
+/// `to_msg` is the only thing that differs between the passes — the bare
+/// packed word for the Bloom pass, the word plus `(read, position,
+/// strand)` for the hash pass.
+#[allow(clippy::too_many_arguments)]
+fn pack_kmer_windows<M, F>(
+    reads: &[Read],
+    idx: &WindowIndex,
+    lo: u64,
+    hi: u64,
     ranks: usize,
-    parsed: &mut u64,
-    to_msg: F,
-) -> Vec<Vec<u8>>
+    batch_windows: usize,
+    exec: &BatchedExecutor,
+    to_msg: &F,
+) -> (Vec<Vec<u8>>, u64)
 where
-    M: Wire + Clone,
-    I: Iterator<Item = (&'a Read, KmerHit<1>)>,
-    F: Fn(&Read, &KmerHit<1>) -> M,
+    M: Wire + Clone + Send,
+    F: Fn(&Read, &KmerHit<1>) -> M + Sync,
 {
-    let mut bufs: Vec<Vec<M>> = vec![Vec::new(); ranks];
-    for (read, hit) in stream.by_ref().take(per_round) {
-        *parsed += 1;
-        bufs[hit.kmer.owner(ranks)].push(to_msg(read, &hit));
+    let k = idx.k();
+    let batch_windows = batch_windows.max(1) as u64;
+    let n_batches = (hi.saturating_sub(lo)).div_ceil(batch_windows) as usize;
+    let batches = exec.map_indexed(n_batches, |b| {
+        let blo = lo + b as u64 * batch_windows;
+        let bhi = (blo + batch_windows).min(hi);
+        let mut bufs: Vec<Vec<M>> = vec![Vec::new(); ranks];
+        let mut parsed = 0u64;
+        for (ri, plo, phi) in idx.pieces(blo, bhi) {
+            let read = &reads[ri];
+            for hit in window_hits::<1>(&read.seq, k, plo, phi) {
+                parsed += 1;
+                bufs[hit.kmer.owner(ranks)].push(to_msg(read, &hit));
+            }
+        }
+        let wire: Vec<Vec<u8>> = bufs.into_iter().map(|b| encode_slice(&b)).collect();
+        (wire, parsed)
+    });
+
+    let mut merged: Vec<Vec<u8>> = vec![Vec::new(); ranks];
+    let mut parsed = 0u64;
+    for (wire, n) in batches {
+        parsed += n;
+        for (d, b) in wire.into_iter().enumerate() {
+            if merged[d].is_empty() {
+                merged[d] = b;
+            } else {
+                merged[d].extend_from_slice(&b);
+            }
+        }
     }
-    bufs.into_iter().map(|b| encode_slice(&b)).collect()
+    (merged, parsed)
 }
 
 /// The per-round k-mer budget of a pass: the record cap and the byte cap,
@@ -103,14 +158,62 @@ fn kmers_per_round<M: Wire>(cfg: &KcountConfig) -> usize {
     )
 }
 
+/// The hash pass's first round, packed ahead of time by
+/// [`bloom_stage_overlapping`] while the Bloom pass's last exchange is in
+/// flight, and shipped by [`hash_stage_prepacked`] as its round 0. Opaque:
+/// its buffers are byte-identical to what the hash pass would pack itself,
+/// it just packs them under communication the rank is waiting on anyway.
+#[derive(Debug)]
+pub struct PrepackedKmerRound {
+    /// Per-destination wire buffers of hash-pass records.
+    bufs: Vec<Vec<u8>>,
+    /// Hits parsed while packing (the hash pass's round-0 `kmers_parsed`).
+    parsed: u64,
+    /// Window range covered, for cross-checking against the hash plan.
+    windows: u64,
+    /// k it was packed for.
+    k: usize,
+}
+
 /// Stage 1 — distributed Bloom filter construction (paper §6).
 ///
-/// Every rank parses its reads into canonical k-mers, routes each to its
-/// owner by hash, and the owner inserts it into its Bloom partition; a
+/// Every rank parses its reads into canonical k-mers (threaded through
+/// `exec`, deterministically — see `pack_kmer_windows`), routes each to
+/// its owner by hash, and the owner inserts it into its Bloom partition; a
 /// k-mer already present is promoted into the hash-table partition. The
 /// filter is dropped on return ("After the hash table is initialized with
 /// k-mer keys, the Bloom filter is freed").
-pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutput {
+pub fn bloom_stage(
+    comm: &Comm,
+    reads: &[Read],
+    cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+) -> BloomOutput {
+    bloom_stage_impl(comm, reads, cfg, exec, false).0
+}
+
+/// [`bloom_stage`] with cross-stage overlap: while the Bloom pass's final
+/// exchange round is in flight, the rank thread pre-packs the **hash**
+/// pass's first round from its local reads (which depend on nothing in
+/// flight). Feed the token to [`hash_stage_prepacked`]; results are
+/// bit-identical to the non-overlapped path.
+pub fn bloom_stage_overlapping(
+    comm: &Comm,
+    reads: &[Read],
+    cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+) -> (BloomOutput, PrepackedKmerRound) {
+    let (out, pp) = bloom_stage_impl(comm, reads, cfg, exec, true);
+    (out, pp.expect("tail always packs when requested"))
+}
+
+fn bloom_stage_impl(
+    comm: &Comm,
+    reads: &[Read],
+    cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+    prepack_hash: bool,
+) -> (BloomOutput, Option<PrepackedKmerRound>) {
     let p = comm.size();
     let mut bloom = BloomFilter::for_items(
         cfg.expected_distinct_per_rank(p),
@@ -119,20 +222,32 @@ pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutp
     let mut table = KmerHashTable::with_capacity(1024);
     let mut counters = KmerStageCounters::default();
 
-    let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
-    let per_round = kmers_per_round::<BloomMsg>(cfg);
-    let mut stream = kmer_stream(reads, cfg.k);
+    let idx = WindowIndex::new(reads.iter().map(|r| r.len()), cfg.k);
+    let total = idx.total_windows();
+    let per_round = kmers_per_round::<BloomMsg>(cfg) as u64;
     let mut parsed = 0u64;
     let mut received = 0u64;
     let mut promoted = 0u64;
+    let prepacked: RefCell<Option<PrepackedKmerRound>> = RefCell::new(None);
 
-    let rounds = RoundExchange::run(
+    let rounds = RoundExchange::run_with_tail(
         comm,
-        RoundPlan::for_records(local_kmers, per_round),
-        |_round| {
-            pack_kmer_round::<BloomMsg, _, _>(&mut stream, per_round, p, &mut parsed, |_, hit| {
-                hit.kmer.words()[0]
-            })
+        RoundPlan::for_records(total, per_round as usize),
+        |round| {
+            let lo = (round * per_round).min(total);
+            let hi = ((round + 1) * per_round).min(total);
+            let (bufs, n) = pack_kmer_windows::<BloomMsg, _>(
+                reads,
+                &idx,
+                lo,
+                hi,
+                p,
+                cfg.extract_batch,
+                exec,
+                &bloom_msg,
+            );
+            parsed += n;
+            bufs
         },
         |_round, recv| {
             for buf in recv {
@@ -150,6 +265,11 @@ pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutp
                 }
             }
         },
+        || {
+            if prepack_hash {
+                *prepacked.borrow_mut() = Some(prepack_hash_round0(reads, &idx, cfg, p, exec));
+            }
+        },
     );
     counters.kmers_parsed = parsed;
     counters.kmers_received = received;
@@ -159,7 +279,26 @@ pub fn bloom_stage(comm: &Comm, reads: &[Read], cfg: &KcountConfig) -> BloomOutp
     let bloom_bytes = bloom.memory_bytes();
     let bloom_fill = bloom.fill_ratio();
     bloom.clear_and_shrink();
-    BloomOutput { table, bloom_bytes, bloom_fill, counters }
+    (
+        BloomOutput { table, bloom_bytes, bloom_fill, counters },
+        prepacked.into_inner(),
+    )
+}
+
+/// Pack the hash pass's round 0 — byte-identical to what
+/// [`hash_stage_prepacked`] would pack itself on its first round.
+fn prepack_hash_round0(
+    reads: &[Read],
+    idx: &WindowIndex,
+    cfg: &KcountConfig,
+    ranks: usize,
+    exec: &BatchedExecutor,
+) -> PrepackedKmerRound {
+    let per_round = kmers_per_round::<HashMsg>(cfg) as u64;
+    let hi = per_round.min(idx.total_windows());
+    let (bufs, parsed) =
+        pack_kmer_windows::<HashMsg, _>(reads, idx, 0, hi, ranks, cfg.extract_batch, exec, &hash_msg);
+    PrepackedKmerRound { bufs, parsed, windows: hi, k: cfg.k }
 }
 
 /// Result of the hash-table pass.
@@ -174,39 +313,70 @@ pub struct HashOutput {
 
 /// Stage 2 — hash table construction (paper §7).
 ///
-/// The reads are parsed *again*; this time each k-mer instance carries its
-/// (read, position, strand) metadata. Owners record occurrences only for
-/// resident keys, then scan their partition to drop false-positive
-/// singletons and k-mers over the threshold `m`.
+/// The reads are parsed *again* (threaded through `exec`); this time each
+/// k-mer instance carries its (read, position, strand) metadata. Owners
+/// record occurrences only for resident keys, then scan their partition to
+/// drop false-positive singletons and k-mers over the threshold `m`.
 pub fn hash_stage(
     comm: &Comm,
     reads: &[Read],
     table: &mut KmerHashTable,
     cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+) -> HashOutput {
+    hash_stage_prepacked(comm, reads, table, cfg, exec, None)
+}
+
+/// [`hash_stage`] that ships a [`PrepackedKmerRound`] (packed by
+/// [`bloom_stage_overlapping`] under the Bloom pass's last exchange) as
+/// its round 0 instead of packing it afresh. `None` degrades to the plain
+/// path; results are identical either way.
+pub fn hash_stage_prepacked(
+    comm: &Comm,
+    reads: &[Read],
+    table: &mut KmerHashTable,
+    cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+    prepacked: Option<PrepackedKmerRound>,
 ) -> HashOutput {
     let p = comm.size();
     let mut counters = KmerStageCounters::default();
 
-    let local_kmers: u64 = reads.iter().map(|r| kmer_count(r.len(), cfg.k) as u64).sum();
-    let per_round = kmers_per_round::<HashMsg>(cfg);
+    let idx = WindowIndex::new(reads.iter().map(|r| r.len()), cfg.k);
+    let total = idx.total_windows();
+    let per_round = kmers_per_round::<HashMsg>(cfg) as u64;
     debug_assert_eq!(<HashMsg as Wire>::SIZE, 20, "2.5x the 8-byte Bloom record");
-    let mut stream = kmer_stream(reads, cfg.k);
+    let mut prepacked = prepacked;
     let mut parsed = 0u64;
     let mut received = 0u64;
     let mut recorded = 0u64;
 
     let rounds = RoundExchange::run(
         comm,
-        RoundPlan::for_records(local_kmers, per_round),
-        |_round| {
-            pack_kmer_round::<HashMsg, _, _>(&mut stream, per_round, p, &mut parsed, |read, hit| {
-                (
-                    hit.kmer.words()[0],
-                    read.id,
-                    hit.pos,
-                    hit.strand.as_u8() as u32,
-                )
-            })
+        RoundPlan::for_records(total, per_round as usize),
+        |round| {
+            let lo = (round * per_round).min(total);
+            let hi = ((round + 1) * per_round).min(total);
+            if round == 0 {
+                if let Some(pp) = prepacked.take() {
+                    debug_assert_eq!(pp.k, cfg.k, "prepacked round for a different k");
+                    debug_assert_eq!(pp.windows, hi, "prepacked round for a different cap");
+                    parsed += pp.parsed;
+                    return pp.bufs;
+                }
+            }
+            let (bufs, n) = pack_kmer_windows::<HashMsg, _>(
+                reads,
+                &idx,
+                lo,
+                hi,
+                p,
+                cfg.extract_batch,
+                exec,
+                &hash_msg,
+            );
+            parsed += n;
+            bufs
         },
         |_round, recv| {
             for buf in recv {
@@ -240,6 +410,7 @@ mod tests {
     use dibella_comm::CommWorld;
     use dibella_io::partition_reads;
     use dibella_io::ReadSet;
+    use dibella_kmer::{kmer_count, KmerIter};
     use std::collections::HashMap;
 
     fn test_cfg(k: usize, m: u32) -> KcountConfig {
@@ -250,6 +421,7 @@ mod tests {
             expected_distinct: 10_000,
             max_kmers_per_round: 64, // tiny cap → exercises multi-round path
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: 16, // tiny batch → many executor batches per round
         }
     }
 
@@ -296,10 +468,11 @@ mod tests {
     ) -> HashMap<Kmer1, Vec<Occurrence>> {
         let (_, chunks) = partition_reads(reads, p);
         let results = CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, cfg);
+            let bloom = bloom_stage(comm, local, cfg, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, cfg);
+            let _ = hash_stage(comm, local, &mut table, cfg, &exec);
             table
                 .iter()
                 .map(|(k, e)| (*k, e.occurrences.clone()))
@@ -374,10 +547,11 @@ mod tests {
         let cfg = test_cfg(9, 20);
         let (_, chunks) = partition_reads(&reads, 3);
         let outs = CommWorld::run(3, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let b = bloom_stage(comm, local, &cfg);
+            let b = bloom_stage(comm, local, &cfg, &exec);
             let mut table = b.table;
-            let h = hash_stage(comm, local, &mut table, &cfg);
+            let h = hash_stage(comm, local, &mut table, &cfg, &exec);
             (b.counters, h.counters)
         });
         let total_kmers: u64 = reads
@@ -394,13 +568,104 @@ mod tests {
         assert!(outs.iter().all(|(b, _)| b.rounds > 1));
     }
 
+    /// Full distributed run of both passes returning everything
+    /// comparable: per-rank sorted table contents and both counter blocks.
+    #[allow(clippy::type_complexity)]
+    fn run_for_identity(
+        reads: &ReadSet,
+        p: usize,
+        cfg: &KcountConfig,
+        threads: usize,
+        overlapped: bool,
+    ) -> Vec<(Vec<(Kmer1, Vec<Occurrence>)>, KmerStageCounters, KmerStageCounters)> {
+        let (_, chunks) = partition_reads(reads, p);
+        CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::new(threads);
+            let local = chunks[comm.rank()].reads();
+            let (b, pp) = if overlapped {
+                let (b, pp) = bloom_stage_overlapping(comm, local, cfg, &exec);
+                (b, Some(pp))
+            } else {
+                (bloom_stage(comm, local, cfg, &exec), None)
+            };
+            let mut table = b.table;
+            let h = hash_stage_prepacked(comm, local, &mut table, cfg, &exec, pp);
+            let mut entries: Vec<(Kmer1, Vec<Occurrence>)> = table
+                .iter()
+                .map(|(k, e)| (*k, e.occurrences.clone()))
+                .collect();
+            entries.sort_unstable_by_key(|(k, _)| *k);
+            (entries, b.counters, h.counters)
+        })
+    }
+
+    #[test]
+    fn threaded_extraction_is_bit_identical_to_sequential() {
+        // The tiny extract_batch (16) and round cap (64) force many
+        // executor batches per round and several rounds — every thread
+        // count must reproduce the sequential tables AND counters exactly,
+        // on every rank.
+        let reads = make_reads(24, 120, 77);
+        let cfg = test_cfg(9, 20);
+        let baseline = run_for_identity(&reads, 4, &cfg, 1, false);
+        for threads in [2usize, 4] {
+            let got = run_for_identity(&reads, 4, &cfg, threads, false);
+            assert_eq!(got, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn overlapped_bloom_to_hash_path_matches_plain_path() {
+        // Pre-packing the hash round 0 under the Bloom pass's last
+        // exchange must change nothing observable: tables, counters, and
+        // (via the engine's invariants) rounds all equal the plain path.
+        let reads = make_reads(20, 110, 123);
+        let cfg = test_cfg(9, 20);
+        for threads in [1usize, 4] {
+            let plain = run_for_identity(&reads, 3, &cfg, threads, false);
+            let overlapped = run_for_identity(&reads, 3, &cfg, threads, true);
+            assert_eq!(overlapped, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn dirty_reads_shard_identically() {
+        // Ambiguous bases make hits < windows; window-range sharding must
+        // still agree with the serial reference at any thread count.
+        let clean = make_reads(12, 90, 9);
+        let reads: ReadSet = clean
+            .iter()
+            .map(|r| {
+                let mut seq = r.seq.clone();
+                let step = 17 + (r.id as usize % 5);
+                let mut i = step;
+                while i < seq.len() {
+                    seq[i] = b'N';
+                    i += step;
+                }
+                dibella_io::Read::new(r.id, r.name.clone(), seq)
+            })
+            .collect();
+        let cfg = test_cfg(7, 30);
+        let baseline = run_for_identity(&reads, 3, &cfg, 1, false);
+        let total_hits: u64 = reads
+            .iter()
+            .flat_map(|r| KmerIter::<1>::new(&r.seq, 7))
+            .count() as u64;
+        let parsed: u64 = baseline.iter().map(|(_, b, _)| b.kmers_parsed).sum();
+        assert_eq!(parsed, total_hits, "parsed must count hits, not windows");
+        for threads in [2usize, 4] {
+            assert_eq!(run_for_identity(&reads, 3, &cfg, threads, false), baseline);
+        }
+    }
+
     #[test]
     fn bloom_memory_reported_and_freed() {
         let reads = make_reads(6, 60, 1);
         let cfg = test_cfg(7, 10);
         let (_, chunks) = partition_reads(&reads, 2);
         let outs = CommWorld::run(2, |comm| {
-            bloom_stage(comm, chunks[comm.rank()].reads(), &cfg)
+            bloom_stage(comm, chunks[comm.rank()].reads(), &cfg, &BatchedExecutor::sequential())
         });
         for o in outs {
             assert!(o.bloom_bytes > 0);

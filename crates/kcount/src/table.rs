@@ -186,6 +186,7 @@ mod tests {
             expected_distinct: 1024,
             max_kmers_per_round: 1 << 16,
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: KcountConfig::DEFAULT_EXTRACT_BATCH,
         }
     }
 

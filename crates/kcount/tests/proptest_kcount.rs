@@ -2,7 +2,7 @@
 //! serial reference count for arbitrary read sets, world sizes and
 //! streaming caps.
 
-use dibella_comm::CommWorld;
+use dibella_comm::{BatchedExecutor, CommWorld};
 use dibella_io::{partition_reads, Read, ReadSet};
 use dibella_kcount::{bloom_stage, hash_stage, KcountConfig};
 use dibella_kmer::{Kmer1, KmerIter};
@@ -69,14 +69,16 @@ proptest! {
             expected_distinct: 4096,
             max_kmers_per_round: cap,
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: 16,
         };
         let want = reference(&reads, k, m);
         let (_, chunks) = partition_reads(&reads, p);
         let parts = CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, &cfg);
+            let bloom = bloom_stage(comm, local, &cfg, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, &cfg);
+            let _ = hash_stage(comm, local, &mut table, &cfg, &exec);
             table.iter().map(|(k, e)| (*k, e.count)).collect::<Vec<_>>()
         });
         let mut got: HashMap<Kmer1, u32> = HashMap::new();
@@ -98,14 +100,16 @@ proptest! {
             expected_distinct: 4096,
             max_kmers_per_round: 1 << 12,
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: 16,
         };
         let (_, chunks) = partition_reads(&reads, p);
         let outs = CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, &cfg);
+            let bloom = bloom_stage(comm, local, &cfg, &exec);
             let keys_before = bloom.table.len() as u64;
             let mut table = bloom.table;
-            let h = hash_stage(comm, local, &mut table, &cfg);
+            let h = hash_stage(comm, local, &mut table, &cfg, &exec);
             (keys_before, h.filter, table.len() as u64)
         });
         for (before, stats, after) in outs {

@@ -119,6 +119,100 @@ pub fn kmer_count(len: usize, k: usize) -> usize {
     (len + 1).saturating_sub(k)
 }
 
+/// Canonical k-mer hits of `seq` whose **window position** (0-based first
+/// base) falls in `[lo, hi)`, with positions relative to the full `seq`.
+///
+/// This is the restriction of `KmerIter::new(seq, k)` to a position range:
+/// extracting `[0, w0)`, `[w0, w1)`, … and concatenating yields exactly the
+/// full extraction, because a window at position `p ∈ [lo, hi)` spans bases
+/// `[p, p + k)` ⊆ `[lo, hi + k − 1)`, and an ambiguous base voids the
+/// window the same way whether or not the flanking bases are in view. That
+/// decomposability is what lets the k-mer stages shard a read's windows
+/// across batches (and across exchange rounds) deterministically.
+pub fn window_hits<const W: usize>(
+    seq: &[u8],
+    k: usize,
+    lo: usize,
+    hi: usize,
+) -> impl Iterator<Item = KmerHit<W>> + '_ {
+    let end = hi.saturating_add(k - 1).min(seq.len());
+    let start = lo.min(end);
+    KmerIter::<W>::new(&seq[start..end], k).map(move |mut h| {
+        h.pos += start as u32;
+        h
+    })
+}
+
+/// Prefix-sum index over the k-mer **windows** of a read set: read `i`
+/// owns the contiguous global window range `[prefix[i], prefix[i+1])`,
+/// where the count is the clean-read formula [`kmer_count`]`(len_i, k)`.
+///
+/// Stages use it to treat "all k-mer windows of all local reads" as one
+/// flat index space that can be cut anywhere — at exchange-round
+/// boundaries (so the per-round byte cap holds even mid-read) and again
+/// into fixed-size executor batches (so threading never changes the
+/// decomposition). Reads with ambiguous bases yield *fewer hits* than
+/// windows; the index bounds the work, [`window_hits`] yields the truth.
+#[derive(Clone, Debug)]
+pub struct WindowIndex {
+    /// `prefix[i]` = total windows of reads `0..i`; length `n_reads + 1`.
+    prefix: Vec<u64>,
+    k: usize,
+}
+
+impl WindowIndex {
+    /// Build the index from the read lengths, in read order.
+    pub fn new<I: IntoIterator<Item = usize>>(lens: I, k: usize) -> Self {
+        let mut prefix = vec![0u64];
+        let mut total = 0u64;
+        for len in lens {
+            total += kmer_count(len, k) as u64;
+            prefix.push(total);
+        }
+        Self { prefix, k }
+    }
+
+    /// Total windows over all reads (the end of the global index space).
+    pub fn total_windows(&self) -> u64 {
+        *self.prefix.last().expect("prefix is never empty")
+    }
+
+    /// The k this index was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Decompose the global window range `[lo, hi)` into per-read pieces
+    /// `(read_index, pos_lo, pos_hi)` with read-local window positions,
+    /// in read order. Empty for an empty or out-of-range request.
+    pub fn pieces(&self, lo: u64, hi: u64) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let hi = hi.min(self.total_windows());
+        let lo = lo.min(hi);
+        // First read whose range ends after `lo`.
+        let first = self.prefix.partition_point(|&p| p <= lo).saturating_sub(1);
+        let mut read = first;
+        let mut cursor = lo;
+        std::iter::from_fn(move || {
+            while cursor < hi {
+                let begin = self.prefix[read];
+                let end = self.prefix[read + 1];
+                if end <= cursor {
+                    // Skip zero-window reads (shorter than k).
+                    read += 1;
+                    continue;
+                }
+                let piece_lo = (cursor - begin) as usize;
+                let piece_hi = (end.min(hi) - begin) as usize;
+                cursor = end.min(hi);
+                let r = read;
+                read += 1;
+                return Some((r, piece_lo, piece_hi));
+            }
+            None
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +280,56 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_hits_restrict_full_extraction() {
+        // Any cut of the window range reproduces the full extraction when
+        // concatenated — including across an ambiguous base.
+        for seq in [&b"ACGTTGCAGGTATTTACGCAGGAT"[..], &b"ACGTNACGTTGCAGNGTAT"[..]] {
+            for k in [3usize, 5, 7] {
+                let full = extract_kmers::<1>(seq, k);
+                let windows = kmer_count(seq.len(), k);
+                for cut in 0..=windows {
+                    let mut glued: Vec<KmerHit<1>> =
+                        window_hits::<1>(seq, k, 0, cut).collect();
+                    glued.extend(window_hits::<1>(seq, k, cut, windows));
+                    assert_eq!(glued, full, "k={k} cut={cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_index_pieces_cover_exactly() {
+        let k = 5usize;
+        let lens = [10usize, 3, 8, 5, 20]; // read 1 has zero windows
+        let idx = WindowIndex::new(lens.iter().copied(), k);
+        assert_eq!(idx.k(), k);
+        let per_read: Vec<usize> = lens.iter().map(|&l| kmer_count(l, k)).collect();
+        let total: usize = per_read.iter().sum();
+        assert_eq!(idx.total_windows(), total as u64);
+
+        // Every [lo, hi) decomposes into in-order, contiguous, in-bounds
+        // pieces whose sizes sum to hi − lo.
+        for lo in 0..=total as u64 {
+            for hi in lo..=total as u64 {
+                let mut covered = 0u64;
+                let mut last_read = None;
+                for (r, plo, phi) in idx.pieces(lo, hi) {
+                    assert!(plo < phi, "empty piece");
+                    assert!(phi <= per_read[r], "piece out of read bounds");
+                    if let Some(prev) = last_read {
+                        assert!(r > prev, "pieces out of read order");
+                    }
+                    last_read = Some(r);
+                    covered += (phi - plo) as u64;
+                }
+                assert_eq!(covered, hi - lo, "range [{lo}, {hi})");
+            }
+        }
+        // Out-of-range requests clamp instead of panicking.
+        assert_eq!(idx.pieces(total as u64 + 5, total as u64 + 9).count(), 0);
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod hash;
 pub mod packed;
 pub mod params;
 
-pub use extract::{extract_kmers, kmer_count, KmerHit, KmerIter};
+pub use extract::{extract_kmers, kmer_count, window_hits, KmerHit, KmerIter, WindowIndex};
 pub use hash::{double_hash, kmer_hash_words, mix64};
 pub use packed::{Kmer, Kmer1, Kmer2, Strand};

@@ -9,11 +9,21 @@
 //! [`SeedPolicy`]. With the round cap unbounded this degenerates to the
 //! single monolithic all-to-all of the paper's Algorithm 1; the results
 //! are bit-identical either way.
+//!
+//! Pair enumeration is threaded through the shared
+//! [`BatchedExecutor`]: prefix sums over each entry's occurrence-pair
+//! bound `n(n−1)/2` form a global *pair-index* space, a round is a cut of
+//! that space, each round is sharded into fixed `pair_batch` batches
+//! enumerated in parallel, and per-destination buffers are concatenated
+//! in batch order — so the task stream is bit-identical at any thread
+//! count (and downstream sort/dedup makes the *output* independent even
+//! of the table's iteration order).
 
 use crate::policy::SeedPolicy;
 use crate::task::{OverlapTask, ReadPair, SharedSeed, TaskPlacement};
 use dibella_comm::{
-    decode_iter, encode_slice, records_per_round, Comm, RoundExchange, RoundPlan, Wire,
+    decode_iter, encode_slice, records_per_round, BatchedExecutor, Comm, RoundExchange, RoundPlan,
+    Wire,
 };
 use dibella_io::{ReadId, ReadPartition};
 use dibella_kcount::{KmerHashTable, Occurrence};
@@ -35,6 +45,15 @@ pub struct OverlapConfig {
     /// i.e. one monolithic exchange). The pipeline plumbs `--round-mb`
     /// through here.
     pub max_exchange_bytes_per_round: usize,
+    /// Pair indices per executor batch when enumeration is threaded. Pure
+    /// function of the input — never of the thread count — so any value
+    /// is deterministic; tests shrink it to force many batches.
+    pub pair_batch: usize,
+}
+
+impl OverlapConfig {
+    /// Default executor batch size for threaded pair enumeration.
+    pub const DEFAULT_PAIR_BATCH: usize = 1024;
 }
 
 impl Default for OverlapConfig {
@@ -44,44 +63,87 @@ impl Default for OverlapConfig {
             max_seeds_per_pair: 16,
             placement: TaskPlacement::Parity,
             max_exchange_bytes_per_round: usize::MAX,
+            pair_batch: Self::DEFAULT_PAIR_BATCH,
         }
     }
 }
 
-/// Iterator over the cross-read occurrence pairs of one hash-table entry,
-/// in the `(i, j)` order of Algorithm 1's nested loop. Same-read pairs (a
-/// k-mer repeated within one read witnesses no overlap) are skipped
-/// without being yielded, so `take(n)` budgets real task records.
-struct OccPairs<'a> {
-    occs: &'a [Occurrence],
-    i: usize,
-    j: usize,
-}
-
-impl<'a> OccPairs<'a> {
-    fn new(occs: &'a [Occurrence]) -> Self {
-        Self { occs, i: 0, j: 1 }
+/// `(i, j)` of the `t`-th pair in the nested-loop order over `n`
+/// occurrences (`i < j`, row-major: all `(0, _)` pairs, then `(1, _)`, …).
+/// Rows shrink by one each step, so a short walk recovers the row; batch
+/// starts pay O(n), every following pair is O(1) via the `j += 1` advance
+/// in the caller.
+fn pair_at(n: usize, mut t: u64) -> (usize, usize) {
+    let mut i = 0usize;
+    loop {
+        let row = (n - 1 - i) as u64;
+        if t < row {
+            return (i, i + 1 + t as usize);
+        }
+        t -= row;
+        i += 1;
     }
 }
 
-impl<'a> Iterator for OccPairs<'a> {
-    type Item = (&'a Occurrence, &'a Occurrence);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        while self.i < self.occs.len() {
-            if self.j >= self.occs.len() {
-                self.i += 1;
-                self.j = self.i + 1;
-                continue;
-            }
-            let (oi, oj) = (&self.occs[self.i], &self.occs[self.j]);
-            self.j += 1;
+/// Enumerate the global pair-index range `[lo, hi)` of Algorithm 1's
+/// nested loop, routing each cross-read pair to its home rank's buffer.
+/// Same-read pairs (a k-mer repeated within one read witnesses no
+/// overlap) occupy indices but emit nothing. Returns the per-destination
+/// wire bytes and the emitted-record count — one executor batch.
+#[allow(clippy::too_many_arguments)]
+fn pack_pair_range(
+    entries: &[&[Occurrence]],
+    prefix: &[u64],
+    lo: u64,
+    hi: u64,
+    read_part: &ReadPartition,
+    cfg: &OverlapConfig,
+    lengths: Option<&[u32]>,
+    ranks: usize,
+) -> (Vec<Vec<u8>>, u64) {
+    let mut bufs: Vec<Vec<TaskMsg>> = vec![Vec::new(); ranks];
+    let mut emitted = 0u64;
+    // First entry whose pair-index interval contains `lo`.
+    let mut e = prefix.partition_point(|&start| start <= lo).saturating_sub(1);
+    let mut cursor = lo;
+    while cursor < hi {
+        let end = prefix[e + 1];
+        if end <= cursor {
+            // Zero-pair entry (or one fully before the range) — skip.
+            e += 1;
+            continue;
+        }
+        let occs = entries[e];
+        let stop = end.min(hi);
+        let (mut i, mut j) = pair_at(occs.len(), cursor - prefix[e]);
+        for _ in cursor..stop {
+            let (oi, oj) = (&occs[i], &occs[j]);
             if oi.read != oj.read {
-                return Some((oi, oj));
+                emitted += 1;
+                let home: ReadId = cfg.placement.home(oi.read, oj.read, lengths);
+                // Normalize so the receiving side sees a < b.
+                let (pair, a_pos, b_pos) = if oi.read < oj.read {
+                    (ReadPair::new(oi.read, oj.read), oi.pos, oj.pos)
+                } else {
+                    (ReadPair::new(oj.read, oi.read), oj.pos, oi.pos)
+                };
+                let reverse = oi.strand != oj.strand;
+                bufs[read_part.owner_of(home)].push((
+                    pair.a,
+                    pair.b,
+                    (a_pos, b_pos, reverse as u32),
+                ));
+            }
+            j += 1;
+            if j >= occs.len() {
+                i += 1;
+                j = i + 1;
             }
         }
-        None
+        cursor = stop;
+        e += 1;
     }
+    (bufs.into_iter().map(|b| encode_slice(&b)).collect(), emitted)
 }
 
 /// Work counters for the cost model and the figure harness.
@@ -127,8 +189,9 @@ pub fn overlap_stage(
     table: &KmerHashTable,
     read_part: &ReadPartition,
     cfg: &OverlapConfig,
+    exec: &BatchedExecutor,
 ) -> OverlapOutput {
-    overlap_stage_with_lengths(comm, table, read_part, cfg, None)
+    overlap_stage_with_lengths(comm, table, read_part, cfg, None, exec)
 }
 
 /// [`overlap_stage`] with global read lengths available for length-aware
@@ -139,6 +202,7 @@ pub fn overlap_stage_with_lengths(
     read_part: &ReadPartition,
     cfg: &OverlapConfig,
     lengths: Option<&[u32]>,
+    exec: &BatchedExecutor,
 ) -> OverlapOutput {
     let p = comm.size();
     let mut counters = OverlapCounters {
@@ -146,25 +210,28 @@ pub fn overlap_stage_with_lengths(
         ..Default::default()
     };
 
-    // ---- Algorithm 1, streamed: form pairs lazily, round by round --------
-    // The round budget is planned from an upper bound (all occurrence
-    // pairs, including the same-read ones the stream skips), so a rank
-    // whose tail entries yield nothing simply ships empty trailing rounds.
-    let pair_bound: u64 = table
-        .iter()
-        .map(|(_, e)| {
-            let n = e.occurrences.len() as u64;
-            n * n.saturating_sub(1) / 2
-        })
-        .sum();
+    // ---- Algorithm 1, batched over the pair-index space ------------------
+    // Prefix sums over each entry's occurrence-pair bound `n(n−1)/2` give
+    // every pair of Algorithm 1's nested loop a global index. Rounds and
+    // executor batches are cuts of that index space, so the decomposition
+    // is a pure function of the table — identical at any thread count. The
+    // round budget counts the same-read pairs the enumeration skips, so a
+    // rank whose entries yield nothing simply ships lighter (or empty)
+    // rounds.
+    let entries: Vec<&[Occurrence]> = table.iter().map(|(_, e)| e.occurrences.as_slice()).collect();
+    let mut prefix: Vec<u64> = Vec::with_capacity(entries.len() + 1);
+    prefix.push(0);
+    for occs in &entries {
+        let n = occs.len() as u64;
+        prefix.push(prefix.last().unwrap() + n * n.saturating_sub(1) / 2);
+    }
+    let pair_bound = *prefix.last().unwrap();
     let per_round = records_per_round(
         <TaskMsg as Wire>::SIZE,
         usize::MAX,
         cfg.max_exchange_bytes_per_round,
     );
-    let mut stream = table
-        .iter()
-        .flat_map(|(_kmer, entry)| OccPairs::new(&entry.occurrences));
+    let batch = cfg.pair_batch.max(1) as u64;
     let mut emitted = 0u64;
     let mut received = 0u64;
     let mut pairs: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
@@ -172,25 +239,30 @@ pub fn overlap_stage_with_lengths(
     let rounds = RoundExchange::run(
         comm,
         RoundPlan::for_records(pair_bound, per_round),
-        |_round| {
-            let mut bufs: Vec<Vec<TaskMsg>> = vec![Vec::new(); p];
-            for (oi, oj) in stream.by_ref().take(per_round) {
-                emitted += 1;
-                let home: ReadId = cfg.placement.home(oi.read, oj.read, lengths);
-                // Normalize so the receiving side sees a < b.
-                let (pair, a_pos, b_pos) = if oi.read < oj.read {
-                    (ReadPair::new(oi.read, oj.read), oi.pos, oj.pos)
-                } else {
-                    (ReadPair::new(oj.read, oi.read), oj.pos, oi.pos)
-                };
-                let reverse = oi.strand != oj.strand;
-                bufs[read_part.owner_of(home)].push((
-                    pair.a,
-                    pair.b,
-                    (a_pos, b_pos, reverse as u32),
-                ));
+        |round| {
+            let lo = (round * per_round as u64).min(pair_bound);
+            let hi = lo.saturating_add(per_round as u64).min(pair_bound);
+            let n_batches = (hi - lo).div_ceil(batch) as usize;
+            let parts = exec.map_indexed(n_batches, |b| {
+                let blo = lo + b as u64 * batch;
+                let bhi = blo.saturating_add(batch).min(hi);
+                pack_pair_range(&entries, &prefix, blo, bhi, read_part, cfg, lengths, p)
+            });
+            // Merge in batch order: concatenating each destination's encoded
+            // slices equals encoding the concatenated record stream, so the
+            // wire bytes match the sequential enumeration exactly.
+            let mut merged: Vec<Vec<u8>> = vec![Vec::new(); p];
+            for (wire, n) in parts {
+                emitted += n;
+                for (dest, bytes) in merged.iter_mut().zip(wire) {
+                    if dest.is_empty() {
+                        *dest = bytes;
+                    } else {
+                        dest.extend_from_slice(&bytes);
+                    }
+                }
             }
-            bufs.into_iter().map(|b| encode_slice(&b)).collect()
+            merged
         },
         // ---- consolidate per-pair seed lists, as rounds arrive ----------
         |_round, recv| {
@@ -282,6 +354,7 @@ mod tests {
             expected_distinct: 10_000,
             max_kmers_per_round: 1 << 14,
             max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: 16,
         }
     }
 
@@ -316,11 +389,12 @@ mod tests {
     ) -> Vec<OverlapTask> {
         let (part, chunks) = partition_reads(reads, p);
         let results = CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, kc);
+            let bloom = bloom_stage(comm, local, kc, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, kc);
-            overlap_stage(comm, &table, &part, oc)
+            let _ = hash_stage(comm, local, &mut table, kc, &exec);
+            overlap_stage(comm, &table, &part, oc, &exec)
         });
         let mut all: Vec<OverlapTask> = results.into_iter().flat_map(|o| o.tasks).collect();
         all.sort_unstable_by_key(|t| t.pair);
@@ -364,11 +438,12 @@ mod tests {
         let oc = OverlapConfig::default();
         let (part, chunks) = partition_reads(&reads, 4);
         let results = CommWorld::run(4, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, &kc);
+            let bloom = bloom_stage(comm, local, &kc, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, &kc);
-            overlap_stage(comm, &table, &part, &oc)
+            let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+            overlap_stage(comm, &table, &part, &oc, &exec)
         });
         let mut seen = std::collections::HashSet::new();
         for out in &results {
@@ -386,11 +461,12 @@ mod tests {
         let oc = OverlapConfig::default();
         let (part, chunks) = partition_reads(&reads, 4);
         let results = CommWorld::run(4, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, &kc);
+            let bloom = bloom_stage(comm, local, &kc, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, &kc);
-            (comm.rank(), overlap_stage(comm, &table, &part, &oc))
+            let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+            (comm.rank(), overlap_stage(comm, &table, &part, &oc, &exec))
         });
         for (rank, out) in &results {
             for t in &out.tasks {
@@ -420,11 +496,12 @@ mod tests {
         let oc = OverlapConfig { policy: SeedPolicy::MinDistance(9), max_seeds_per_pair: 64, ..Default::default() };
         let (part, chunks) = partition_reads(&reads, 3);
         let outs = CommWorld::run(3, |comm| {
+            let exec = BatchedExecutor::sequential();
             let local = chunks[comm.rank()].reads();
-            let bloom = bloom_stage(comm, local, &kc);
+            let bloom = bloom_stage(comm, local, &kc, &exec);
             let mut table = bloom.table;
-            let _ = hash_stage(comm, local, &mut table, &kc);
-            overlap_stage(comm, &table, &part, &oc).counters
+            let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+            overlap_stage(comm, &table, &part, &oc, &exec).counters
         });
         let emitted: u64 = outs.iter().map(|c| c.pairs_emitted).sum();
         let received: u64 = outs.iter().map(|c| c.tasks_received).sum();
@@ -464,5 +541,54 @@ mod tests {
             .find(|t| t.pair == ReadPair::new(0, 1))
             .expect("rc pair not found");
         assert!(t.seeds.iter().all(|s| s.reverse), "strand flags wrong");
+    }
+
+    #[test]
+    fn pair_at_matches_nested_loop_order() {
+        for n in 2..=7usize {
+            let mut t = 0u64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(pair_at(n, t), (i, j), "n={n} t={t}");
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    /// Tentpole invariant: threaded pair enumeration with a tiny batch size
+    /// (forcing many batches per round) produces the exact tasks and
+    /// counters of the sequential run, per rank, with and without a round
+    /// cap.
+    #[test]
+    fn threaded_enumeration_is_bit_identical_to_sequential() {
+        let reads = overlapping_reads(14, 60, 12);
+        let kc = kc_cfg(9, 24);
+        for cap in [usize::MAX, 600] {
+            let oc_seq = OverlapConfig {
+                policy: SeedPolicy::MinDistance(9),
+                max_seeds_per_pair: 64,
+                max_exchange_bytes_per_round: cap,
+                ..Default::default()
+            };
+            let (part, chunks) = partition_reads(&reads, 3);
+            let run = |threads: usize, oc: OverlapConfig| {
+                CommWorld::run(3, |comm| {
+                    let exec = BatchedExecutor::new(threads);
+                    let local = chunks[comm.rank()].reads();
+                    let bloom = bloom_stage(comm, local, &kc, &exec);
+                    let mut table = bloom.table;
+                    let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+                    let out = overlap_stage(comm, &table, &part, &oc, &exec);
+                    (out.tasks, out.counters)
+                })
+            };
+            let baseline = run(1, oc_seq);
+            for threads in [2usize, 4] {
+                let oc_par = OverlapConfig { pair_batch: 7, ..oc_seq };
+                let got = run(threads, oc_par);
+                assert_eq!(got, baseline, "threads={threads} cap={cap}");
+            }
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property tests for the overlap stage: Algorithm 1's output is a
 //! partition-independent, exactly-once, seed-complete task set.
 
-use dibella_comm::CommWorld;
+use dibella_comm::{BatchedExecutor, CommWorld};
 use dibella_io::{partition_reads, Read, ReadSet};
 use dibella_kcount::{bloom_stage, hash_stage, KcountConfig};
 use dibella_overlap::{overlap_stage, task_home, OverlapConfig, OverlapTask, SeedPolicy};
@@ -36,15 +36,17 @@ fn run_to_overlap(reads: &ReadSet, p: usize, policy: SeedPolicy) -> Vec<OverlapT
         expected_distinct: 4096,
         max_kmers_per_round: 1 << 12,
         max_exchange_bytes_per_round: usize::MAX,
+        extract_batch: 16,
     };
     let oc = OverlapConfig { policy, max_seeds_per_pair: 64, ..Default::default() };
     let (part, chunks) = partition_reads(reads, p);
     let outs = CommWorld::run(p, |comm| {
+        let exec = BatchedExecutor::sequential();
         let local = chunks[comm.rank()].reads();
-        let bloom = bloom_stage(comm, local, &kc);
+        let bloom = bloom_stage(comm, local, &kc, &exec);
         let mut table = bloom.table;
-        let _ = hash_stage(comm, local, &mut table, &kc);
-        overlap_stage(comm, &table, &part, &oc)
+        let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+        overlap_stage(comm, &table, &part, &oc, &exec)
     });
     let mut all: Vec<OverlapTask> = outs.into_iter().flat_map(|o| o.tasks).collect();
     all.sort_unstable_by_key(|t| t.pair);

@@ -5,8 +5,8 @@
 //! ```sh
 //! cargo run --release --example ecoli_pipeline           # default 1% scale
 //! DIBELLA_SCALE=0.05 cargo run --release --example ecoli_pipeline
-//! # hybrid-parallel: 8 ranks × 4 alignment threads per rank
-//! DIBELLA_ALIGN_THREADS=4 cargo run --release --example ecoli_pipeline
+//! # hybrid-parallel: 8 ranks × 4 threads per rank, all four stages
+//! DIBELLA_THREADS=4 cargo run --release --example ecoli_pipeline
 //! # run "on" a virtual AWS cluster (modeled exchange times, same results)
 //! DIBELLA_TRANSPORT=sim:aws:16 cargo run --release --example ecoli_pipeline
 //! # stream every stage's exchange in 1 MiB rounds (same results, bounded memory)
@@ -25,10 +25,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    let align_threads: usize = std::env::var("DIBELLA_ALIGN_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let threads: usize = PipelineConfig::env_threads();
     let transport: TransportKind = std::env::var("DIBELLA_TRANSPORT")
         .ok()
         .map(|v| v.parse().expect("DIBELLA_TRANSPORT"))
@@ -46,7 +43,7 @@ fn main() {
         .unwrap_or(usize::MAX);
 
     println!("== E. coli 30x-like workload at scale {scale} ==");
-    println!("{ranks} ranks x {align_threads} alignment thread(s) per rank, transport {transport}");
+    println!("{ranks} ranks x {threads} thread(s) per rank, transport {transport}");
     let ds = ecoli_30x_like(scale, 42);
     println!(
         "genome {:.0} kb | {} reads | {:.1} Mb | depth {:.1}x | mean read {:.0} bp",
@@ -66,7 +63,7 @@ fn main() {
             error_rate: 0.15,
             seed_policy: policy,
             max_seeds_per_pair: 8,
-            align_threads,
+            threads: Some(threads),
             transport,
             max_exchange_bytes_per_round: round_bytes,
             ..Default::default()

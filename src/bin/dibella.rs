@@ -39,7 +39,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "dibella — distributed long-read overlap and alignment (ICPP 2019 reproduction)
 
 USAGE:
-  dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--align-threads N]
+  dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--threads N]
                   [--transport shared|sim:<platform>[:<ranks_per_node>]]
                   [--round-mb MB] [--policy one|1000|k] [-e ERR] [-d DEPTH]
                   [-x XDROP] [--min-score S] [-o out.paf] [--gfa out.gfa]
@@ -110,8 +110,10 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
     let depth: f64 = flags.get("d", 30.0)?;
     let xdrop: i32 = flags.get("x", 25)?;
     let min_score: i32 = flags.get("min-score", 0)?;
-    // Intra-rank alignment threads (hybrid parallelism; 0 = all cores).
-    let align_threads: usize = flags.get("align-threads", flags.get("t", 1)?)?;
+    // Intra-rank threads for all four stages (hybrid parallelism; 0 = all
+    // cores). `--align-threads` is the deprecated spelling of `--threads`.
+    let threads: usize =
+        flags.get("threads", flags.get("align-threads", flags.get("t", 1)?)?)?;
     // Communication backend: real shared memory, or a simulated network
     // ("sim:<platform>[:<ranks_per_node>]" — virtual cori|edison|titan|aws).
     let transport: TransportKind = match flags.named.get("transport") {
@@ -145,7 +147,7 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         seed_policy: policy,
         xdrop,
         min_align_score: min_score,
-        align_threads,
+        threads: Some(threads),
         transport,
         max_exchange_bytes_per_round: round_bytes,
         ..Default::default()
@@ -156,11 +158,11 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         format!("{:.2} MiB", round_bytes as f64 / (1 << 20) as f64)
     };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} align thread(s), transport {}, round cap {round_cap}",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} thread(s), transport {}, round cap {round_cap}",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
         cfg.multiplicity_threshold(),
-        cfg.effective_align_threads(),
+        cfg.effective_threads(),
         cfg.transport
     );
     let t = std::time::Instant::now();

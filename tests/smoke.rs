@@ -3,10 +3,11 @@
 //! caught before the heavier `end_to_end` / `model_projection` suites run.
 //!
 //! `DIBELLA_TRANSPORT` (`shared` | `sim:<platform>[:<ranks_per_node>]`)
-//! selects the communication backend, and `DIBELLA_ROUND_MB` caps the
-//! streaming-exchange rounds, so CI smokes the real and simulated
-//! transports *and* the multi-round exchange path with the same
-//! assertions.
+//! selects the communication backend, `DIBELLA_ROUND_MB` caps the
+//! streaming-exchange rounds, and `DIBELLA_THREADS` sets the intra-rank
+//! thread count of every stage, so CI smokes the real and simulated
+//! transports, the multi-round exchange path *and* the threaded stage
+//! executor with the same assertions.
 
 use dibella::prelude::*;
 use std::time::Instant;
@@ -53,6 +54,7 @@ fn two_rank_pipeline_smoke() {
         max_multiplicity: Some(16),
         transport,
         max_exchange_bytes_per_round: round_bytes,
+        threads: Some(PipelineConfig::env_threads()),
         ..Default::default()
     };
     let res = run_pipeline(&reads, 2, &cfg);

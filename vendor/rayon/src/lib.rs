@@ -3,14 +3,16 @@
 //! The build environment for this repository has no registry access, so this
 //! vendored crate implements the slice of rayon's API the workspace uses.
 //! Since PR 2 it is **no longer fully sequential**: it ships a real thread
-//! pool ([`ThreadPool`] / [`ThreadPoolBuilder`]) and a genuinely parallel
-//! indexed chunk map ([`ParallelSlice::par_chunks`] → `.map(f).collect()`),
-//! built on `std::thread::scope` with an atomic work-claiming cursor —
-//! dynamic scheduling in the spirit of rayon's work stealing, minus the
-//! per-thread deques. Chunk results are reassembled in chunk-index order,
-//! so a `collect()` is **bit-identical** to the sequential execution no
-//! matter how many threads run it (the same order-preservation guarantee
-//! real rayon gives indexed parallel iterators).
+//! pool ([`ThreadPool`] / [`ThreadPoolBuilder`]) and genuinely parallel
+//! indexed maps ([`ParallelSlice::par_chunks`] and
+//! [`IntoParallelIterator::into_par_iter`] on `Range<usize>`, each followed
+//! by `.map(f).collect()`), built on `std::thread::scope` with an atomic
+//! work-claiming cursor — dynamic scheduling in the spirit of rayon's work
+//! stealing, minus the per-thread deques. Results are reassembled in task
+//! index order, so a `collect()` is **bit-identical** to the sequential
+//! execution no matter how many threads run it (the same
+//! order-preservation guarantee real rayon gives indexed parallel
+//! iterators).
 //!
 //! The older adapter traits (`par_iter`, `flat_map_iter`, the
 //! `par_sort_unstable*` family) remain sequential std equivalents:
@@ -160,8 +162,72 @@ where
 }
 
 // ---------------------------------------------------------------------------
-// Parallel chunked map (the genuinely parallel part)
+// Parallel indexed maps (the genuinely parallel part)
 // ---------------------------------------------------------------------------
+
+/// Shared engine behind every parallel `collect()`: run `f(0..n_tasks)` at
+/// the ambient width and gather the results **in task-index order**.
+///
+/// Scheduling is dynamic — workers claim the next unprocessed index from a
+/// shared atomic cursor, so a slow task never idles the other workers — but
+/// the output order is the index order, identical to `(0..n).map(f)` bit
+/// for bit. The calling thread participates as one of the workers (like
+/// real rayon's `install`), workers pin their ambient width to 1 so nested
+/// parallel operations run sequentially instead of over-spawning, and
+/// worker panics are propagated to the caller after all workers stop.
+fn parallel_collect_indexed<R, F, C>(n_tasks: usize, f: F) -> C
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    C: FromIterator<R>,
+{
+    let width = current_num_threads().min(n_tasks);
+    if width <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    // Each worker (shared-ref captures only, so the closure is Copy)
+    // drains the task queue until empty.
+    let work = move || {
+        let sequential = ThreadPool { width: 1 };
+        sequential.install(|| {
+            let mut produced = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                produced.push((i, f(i)));
+            }
+            produced
+        })
+    };
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..width).map(|_| s.spawn(work)).collect();
+        let mut all = vec![work()];
+        for h in handles {
+            match h.join() {
+                Ok(v) => all.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        all
+    });
+
+    // Reassemble in task-index order.
+    let mut slots: Vec<Option<R>> = (0..n_tasks).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "task {i} computed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("task claimed but never computed"))
+        .collect()
+}
 
 /// `par_chunks` on slices (the subset of rayon's `ParallelSlice` used by
 /// this workspace).
@@ -225,68 +291,88 @@ where
 {
     /// Execute the chunk map and collect results **in chunk order**.
     ///
-    /// Scheduling is dynamic (workers claim the next unprocessed chunk
-    /// index from a shared atomic cursor, so a slow chunk never idles the
-    /// other workers), but the output order is the chunk order — identical
-    /// to a sequential `slice.chunks(n).map(f).collect()` bit for bit.
-    /// Worker panics are propagated to the caller after all workers stop.
+    /// Chunk boundaries are a pure function of the slice length, so the
+    /// output is identical to a sequential
+    /// `slice.chunks(n).map(f).collect()` bit for bit at any width (see
+    /// `parallel_collect_indexed`).
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let ParChunksMap { chunks: ParChunks { slice, chunk_size }, f } = self;
         let n_chunks = slice.len().div_ceil(chunk_size);
-        let width = current_num_threads().min(n_chunks);
-        if width <= 1 {
-            return slice.chunks(chunk_size).map(f).collect();
-        }
+        parallel_collect_indexed(n_chunks, |i| {
+            let lo = i * chunk_size;
+            let hi = (lo + chunk_size).min(slice.len());
+            f(&slice[lo..hi])
+        })
+    }
+}
 
-        let cursor = AtomicUsize::new(0);
-        let f = &f;
-        let cursor = &cursor;
-        // Each worker (shared-ref captures only, so the closure is Copy)
-        // drains the chunk queue until empty. Workers pin their ambient
-        // width to 1 so a nested parallel operation inside `f` runs
-        // sequentially instead of spawning its own threads — total thread
-        // count stays bounded by the installed width (real rayon likewise
-        // runs nested work on the existing pool rather than growing it).
-        let work = move || {
-            let sequential = ThreadPool { width: 1 };
-            sequential.install(|| {
-                let mut produced = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_chunks {
-                        break;
-                    }
-                    let lo = i * chunk_size;
-                    let hi = (lo + chunk_size).min(slice.len());
-                    produced.push((i, f(&slice[lo..hi])));
-                }
-                produced
-            })
-        };
-        // The calling thread participates (like real rayon's install):
-        // spawn width − 1 workers, run the same claim loop here, join.
-        let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
-            let handles: Vec<_> = (1..width).map(|_| s.spawn(work)).collect();
-            let mut all = vec![work()];
-            for h in handles {
-                match h.join() {
-                    Ok(v) => all.push(v),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-            all
-        });
+/// `into_par_iter` on owned collections (the subset of rayon's
+/// `IntoParallelIterator` used by this workspace: index ranges).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The parallel form of `Self`.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
 
-        // Reassemble in chunk-index order.
-        let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
-        for (i, r) in per_worker.into_iter().flatten() {
-            debug_assert!(slots[i].is_none(), "chunk {i} computed twice");
-            slots[i] = Some(r);
-        }
-        slots
-            .into_iter()
-            .map(|r| r.expect("chunk claimed but never computed"))
-            .collect()
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>` — rayon's canonical way to run
+/// an indexed map without materializing a slice of descriptors.
+#[derive(Clone, Debug)]
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+}
+
+impl ParRange {
+    /// Number of indices this iterator will produce.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// `true` when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Map every index through `f` (executed in parallel at `collect`).
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap { range: self.range, f }
+    }
+}
+
+/// The mapped form of [`ParRange`]; terminal `collect` runs the map on the
+/// ambient pool.
+#[derive(Clone, Debug)]
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Execute the indexed map and collect results **in index order** —
+    /// identical to `range.map(f).collect()` bit for bit at any width (see
+    /// `parallel_collect_indexed`).
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let ParRangeMap { range, f } = self;
+        let start = range.start;
+        parallel_collect_indexed(range.len(), |i| f(start + i))
     }
 }
 
@@ -381,8 +467,8 @@ impl<T> ParallelSliceMut<T> for [T] {
 /// The usual glob import, mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::{
-        IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator, ParallelSlice,
-        ParallelSliceMut,
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -447,6 +533,26 @@ mod tests {
             "only {} distinct worker thread(s)",
             seen.lock().unwrap().len()
         );
+    }
+
+    #[test]
+    fn par_range_is_order_preserving_at_any_width() {
+        let expected: Vec<usize> = (3..350).map(|i| i * i).collect();
+        for threads in [1usize, 2, 3, 4, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got: Vec<usize> =
+                pool.install(|| (3..350).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_range_empty_and_len() {
+        let empty = (5..5).into_par_iter();
+        assert!(empty.is_empty());
+        let got: Vec<usize> = empty.map(|i| i).collect();
+        assert!(got.is_empty());
+        assert_eq!((2..9).into_par_iter().len(), 7);
     }
 
     #[test]

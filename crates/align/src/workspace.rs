@@ -34,7 +34,11 @@ use crate::cigar::CigarOp;
 #[derive(Clone, Debug, Default)]
 pub struct AlignWorkspace {
     /// Three x-drop score rows (antidiagonals d−2, d−1 and d), rotated in
-    /// place instead of cloned per antidiagonal.
+    /// place instead of cloned per antidiagonal. The scalar kernel sizes
+    /// them exactly; the lane-SIMD kernel lays the same buffers out with
+    /// a sentinel slot and lane padding. Either kernel fully
+    /// re-initializes what it reads, so the implementations share storage
+    /// across calls safely.
     pub(crate) xdrop: [Vec<i32>; 3],
     /// Two banded-Smith-Waterman rows (previous and current `i`).
     pub(crate) banded: [Vec<i32>; 2],
@@ -47,6 +51,14 @@ pub struct AlignWorkspace {
     pub(crate) cigar_dp: Vec<i32>,
     /// Reversed op list the CIGAR traceback is accumulated into.
     pub(crate) cigar_ops: Vec<CigarOp>,
+    /// Per-antidiagonal substitution scores for the lane-SIMD x-drop
+    /// kernel (one lane-padded `i32` per candidate cell; see
+    /// `docs/ARCHITECTURE.md` § "SIMD kernels").
+    pub(crate) sub_scores: Vec<i32>,
+    /// Reversed byte window the SIMD kernels stage the descending-index
+    /// sequence side into, so the substitution-score fill reads both
+    /// sides forward (and therefore vectorizes).
+    pub(crate) rev_bytes: Vec<u8>,
 }
 
 impl AlignWorkspace {
@@ -62,9 +74,11 @@ impl AlignWorkspace {
     pub fn scratch_bytes(&self) -> usize {
         let i32s = self.xdrop.iter().map(Vec::capacity).sum::<usize>()
             + self.banded.iter().map(Vec::capacity).sum::<usize>()
-            + self.cigar_dp.capacity();
+            + self.cigar_dp.capacity()
+            + self.sub_scores.capacity();
         i32s * std::mem::size_of::<i32>()
             + self.rc.capacity()
+            + self.rev_bytes.capacity()
             + self.cigar_ops.capacity() * std::mem::size_of::<CigarOp>()
     }
 }

@@ -16,6 +16,7 @@
 //! stage's x-drop load imbalance (paper §9, Figure 8).
 
 use crate::scoring::Scoring;
+use crate::simd::{self, round_up_lanes, I32x8, KernelImpl, LANES};
 use crate::workspace::AlignWorkspace;
 
 /// Score used for pruned/unreachable cells. Kept well away from `i32::MIN`
@@ -67,18 +68,22 @@ pub struct Extension {
 /// Returns the maximum-score pair of prefixes; the extension may be empty
 /// (`score = 0`).
 ///
-/// Thin wrapper over [`extend_xdrop_with_workspace`] with a throwaway
-/// workspace; hot callers should hold a per-thread [`AlignWorkspace`] and
-/// call the workspace variant directly.
+/// Thin wrapper over the **scalar** kernel with a throwaway workspace;
+/// hot callers should hold a per-thread [`AlignWorkspace`] and call the
+/// workspace variant directly. Stays pinned to the scalar implementation
+/// regardless of the `DIBELLA_SIMD` knob so it can serve as the reference
+/// oracle in differential tests.
 pub fn extend_xdrop(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
-    extend_xdrop_with_workspace(s, t, scoring, x, &mut AlignWorkspace::new())
+    extend_xdrop_with(s, t, scoring, x, &mut AlignWorkspace::new(), KernelImpl::Scalar)
 }
 
 /// [`extend_xdrop`] using caller-owned scratch: zero heap allocations per
 /// antidiagonal and — once `ws` has warmed up — zero per call.
 ///
-/// Output is bit-identical to [`extend_xdrop`] for every input and any
-/// prior workspace state.
+/// Runs the kernel implementation selected by the thread's
+/// [`crate::simd::SimdMode`] (the `DIBELLA_SIMD` knob); both
+/// implementations are bit-identical to [`extend_xdrop`] for every input
+/// and any prior workspace state.
 pub fn extend_xdrop_with_workspace(
     s: &[u8],
     t: &[u8],
@@ -86,7 +91,24 @@ pub fn extend_xdrop_with_workspace(
     x: i32,
     ws: &mut AlignWorkspace,
 ) -> Extension {
-    xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop)
+    extend_xdrop_with(s, t, scoring, x, ws, simd::thread_simd_mode().kernel())
+}
+
+/// [`extend_xdrop_with_workspace`] with the kernel implementation chosen
+/// explicitly — the entry point the differential bit-identity suites
+/// drive both paths through.
+pub fn extend_xdrop_with(
+    s: &[u8],
+    t: &[u8],
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+    imp: KernelImpl,
+) -> Extension {
+    match imp {
+        KernelImpl::Scalar => xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop),
+        KernelImpl::Simd => xdrop_core_simd::<false>(s, t, scoring, x, ws),
+    }
 }
 
 /// The x-drop scan over antidiagonals, generic over walk direction.
@@ -236,6 +258,220 @@ pub(crate) fn xdrop_core<const REV: bool>(
     Extension { score: best, s_ext: best_i, t_ext: best_j, cells }
 }
 
+/// The lane-SIMD x-drop scan — same antidiagonal walk, pruning and
+/// bookkeeping as [`xdrop_core`], with the per-cell recurrence computed
+/// [`LANES`] cells at a time.
+///
+/// The key observation is that within one antidiagonal the cells are
+/// independent: cell `(i, d−i)` reads only rows `d−1` and `d−2`, so the
+/// inner loop vectorizes *vertically* with three shifted row loads. The
+/// scalar kernel's per-cell range guards become per-term interval masks
+/// (each recurrence source is legal on one contiguous `i`-interval), and
+/// its incremental best tracking collapses to a per-row maximum plus one
+/// rescan on improving rows — the first cell achieving a row's maximum is
+/// exactly the cell the scalar scan records. Rows store a `NEG_INF`
+/// sentinel at slot 0 (so `i−1` loads never underflow) and are padded to
+/// whole lanes (so full-width loads never overflow); pruned cells store
+/// exactly `NEG_INF`, as the scalar kernel leaves them. Output is
+/// therefore bit-identical to [`xdrop_core`] — scores, extents *and* the
+/// `cells` tally — which `tests/simd_identity.rs` and
+/// `tests/kernel_golden.rs` enforce.
+pub(crate) fn xdrop_core_simd<const REV: bool>(
+    s: &[u8],
+    t: &[u8],
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+) -> Extension {
+    assert!(x > 0, "x-drop threshold must be positive");
+    let n = s.len();
+    let m = t.len();
+    if n == 0 || m == 0 {
+        return Extension { score: 0, s_ext: 0, t_ext: 0, cells: 0 };
+    }
+
+    let AlignWorkspace { xdrop: rows, sub_scores, rev_bytes, .. } = ws;
+    let [prev2, prev, cur] = rows;
+
+    let mut best = 0i32;
+    let mut best_i = 0usize;
+    let mut best_j = 0usize;
+    let mut cells = 0u64;
+
+    // Row layout: slot 0 is a NEG_INF sentinel backing the shifted
+    // (`i−1`) loads, slot `1 + (i − base)` holds cell `i`, and the tail
+    // is padded so any full-width load launched from a valid cell stays
+    // in bounds. A row never exceeds min(n, m) + 1 cells, so one sizing
+    // covers the whole call; rows are not re-initialized per
+    // antidiagonal — every slot an *unmasked* lane reads was stored by
+    // the previous rows' store passes (or is the sentinel), masked lanes
+    // tolerate arbitrary stale data, and the post-row scans only look at
+    // freshly stored cells.
+    let max_len = n.min(m) + 1;
+    let phys = 1 + round_up_lanes(max_len) + LANES;
+    for row in [&mut *prev2, &mut *prev, &mut *cur] {
+        row.clear();
+        row.resize(phys, NEG_INF);
+    }
+    sub_scores.clear();
+    sub_scores.resize(round_up_lanes(max_len) + LANES, NEG_INF);
+
+    // d = 0: the single cell (0, 0) = 0.
+    prev2[1] = 0;
+    let mut prev2_base = 0usize;
+    let mut prev2_lo = 0usize;
+    let mut prev2_hi = 0usize;
+
+    // d = 1: cells (0,1) and (1,0), both pure gap (n, m ≥ 1 here).
+    prev[1] = scoring.gap;
+    prev[2] = scoring.gap;
+    cells += 2;
+    if scoring.gap < best - x {
+        return Extension { score: best, s_ext: best_i, t_ext: best_j, cells };
+    }
+    let mut prev_base = 0usize;
+    let mut prev_lo = 0usize;
+    let mut prev_hi = 1usize;
+
+    let gap_v = I32x8::splat(scoring.gap);
+    let neg_v = I32x8::splat(NEG_INF);
+
+    let mut d = 1usize;
+    loop {
+        d += 1;
+        if d > n + m {
+            break;
+        }
+        let lo = prev_lo.max(d.saturating_sub(m));
+        let hi = (prev_hi + 1).min(d).min(n);
+        if lo > hi {
+            break;
+        }
+        let len = hi - lo + 1;
+        // Every i in [lo, hi] is a computed cell: lo ≥ d − m keeps
+        // j = d − i ≤ m and hi ≤ min(d, n) keeps i ≤ n, j ≥ 0 — the
+        // scalar kernel's skip guard never fires.
+        cells += len as u64;
+
+        // Per-term legal-source intervals of i (empty ⇒ all-false masks):
+        // gap in s needs (i, j−1) alive on row d−1 and j ≥ 1; gap in t
+        // needs (i−1, j) alive on row d−1; substitution needs (i−1, j−1)
+        // alive on row d−2 with i, j ≥ 1.
+        let gs_lo = lo.max(prev_lo);
+        let gs_hi = hi.min(prev_hi).min(d - 1);
+        let gt_lo = lo.max(prev_lo + 1);
+        let gt_hi = hi.min(prev_hi + 1);
+        let sub_lo = lo.max(1).max(prev2_lo + 1);
+        let sub_hi = hi.min(prev2_hi + 1).min(d - 1);
+
+        // Substitution scores for the candidate diagonal cells, staged
+        // into a lane-padded scratch row indexed by i − lo (only the
+        // `[sub_lo, sub_hi]` window is written; lanes outside it are
+        // masked or unused). One side of the antidiagonal walks its
+        // sequence backward; copying that side reversed first lets the
+        // compare loop run forward over both.
+        if sub_lo <= sub_hi {
+            rev_bytes.clear();
+            let fwd: &[u8] = if REV {
+                // Walk-order base of s is s[n − i] (descending with i);
+                // of t is t[m − d + i] (ascending).
+                rev_bytes.extend(s[n - sub_hi..=n - sub_lo].iter().rev());
+                &t[m + sub_lo - d..=m + sub_hi - d]
+            } else {
+                // s[i − 1] ascends with i; t[d − i − 1] descends.
+                rev_bytes.extend(t[d - 1 - sub_hi..=d - 1 - sub_lo].iter().rev());
+                &s[sub_lo - 1..=sub_hi - 1]
+            };
+            let at = sub_lo - lo;
+            for (slot, (&p, &q)) in sub_scores[at..].iter_mut().zip(fwd.iter().zip(&*rev_bytes)) {
+                *slot = if p == q { scoring.match_score } else { scoring.mismatch };
+            }
+        }
+
+        let gs_lo_v = I32x8::splat(gs_lo as i32);
+        let gs_hi_v = I32x8::splat(gs_hi as i32);
+        let gt_lo_v = I32x8::splat(gt_lo as i32);
+        let gt_hi_v = I32x8::splat(gt_hi as i32);
+        let sub_lo_v = I32x8::splat(sub_lo as i32);
+        let sub_hi_v = I32x8::splat(sub_hi as i32);
+
+        // On `[core_lo, core_hi]` every term is legal, so whole chunks
+        // inside it skip the interval masks (and share the gap add) —
+        // that covers all but the first and last chunks of a typical row.
+        let core_lo = gs_lo.max(gt_lo).max(sub_lo);
+        let core_hi = gs_hi.min(gt_hi).min(sub_hi);
+
+        let mut rowmax = neg_v;
+        let mut i0 = lo;
+        while i0 <= hi {
+            let v = if i0 >= core_lo && i0 + (LANES - 1) <= core_hi {
+                let horiz = I32x8::load(prev, i0 - prev_base + 1)
+                    .max(I32x8::load(prev, i0 - prev_base))
+                    .add(gap_v);
+                let diag =
+                    I32x8::load(prev2, i0 - prev2_base).add(I32x8::load(sub_scores, i0 - lo));
+                // Clamp: a term fed by a pruned (NEG_INF) cell must store
+                // exactly NEG_INF, as the scalar kernel leaves it.
+                horiz.max(diag).max(neg_v)
+            } else {
+                let vi = I32x8::iota(i0 as i32);
+                // Gap in s (from (i, j−1), row d−1, same i).
+                let c = I32x8::load(prev, i0 - prev_base + 1);
+                let mask = vi.ge(gs_lo_v).and(vi.le(gs_hi_v));
+                let mut v = mask.blend(c.add(gap_v), neg_v);
+                // Gap in t (from (i−1, j), row d−1, cell i−1).
+                let c = I32x8::load(prev, i0 - prev_base);
+                let mask = vi.ge(gt_lo_v).and(vi.le(gt_hi_v));
+                v = v.max(mask.blend(c.add(gap_v), neg_v));
+                // Substitution (from (i−1, j−1), row d−2, cell i−1).
+                let c = I32x8::load(prev2, i0 - prev2_base);
+                let sub = I32x8::load(sub_scores, i0 - lo);
+                let mask = vi.ge(sub_lo_v).and(vi.le(sub_hi_v));
+                v = v.max(mask.blend(c.add(sub), neg_v));
+                v.max(neg_v)
+            };
+            v.store(cur, i0 - lo + 1);
+            rowmax = rowmax.max(v);
+            i0 += LANES;
+        }
+
+        let rm = rowmax.hmax();
+        if rm <= NEG_INF {
+            break; // no reachable cell on this antidiagonal
+        }
+        if rm > best {
+            // The scalar scan's incremental `v > best` updates land on the
+            // first cell achieving the row maximum; recover it by rescan.
+            let off = cur[1..1 + len]
+                .iter()
+                .position(|&v| v == rm)
+                .expect("row maximum must be present");
+            best = rm;
+            best_i = lo + off;
+            best_j = d - best_i;
+        }
+        // X-drop pruning on the logical range, exactly as the scalar scan.
+        let threshold = best - x;
+        let live = &cur[1..1 + len];
+        let first = live.iter().position(|&v| v >= threshold);
+        let last = live.iter().rposition(|&v| v >= threshold);
+        let (first, last) = match (first, last) {
+            (Some(f), Some(l)) => (f, l),
+            _ => break, // every cell pruned → extension terminates
+        };
+        std::mem::swap(prev2, prev);
+        std::mem::swap(prev, cur);
+        prev2_base = prev_base;
+        prev2_lo = prev_lo;
+        prev2_hi = prev_hi;
+        prev_base = lo;
+        prev_lo = lo + first;
+        prev_hi = lo + last;
+    }
+
+    Extension { score: best, s_ext: best_i, t_ext: best_j, cells }
+}
+
 /// Ungapped x-drop extension along the main diagonal (the cheap variant
 /// BLAST uses before gapped extension; exposed for the kernel ablation).
 pub fn extend_ungapped(s: &[u8], t: &[u8], scoring: Scoring, x: i32) -> Extension {
@@ -302,9 +538,28 @@ pub fn extend_xdrop_dir_with_workspace(
     x: i32,
     ws: &mut AlignWorkspace,
 ) -> Extension {
-    match dir {
-        Dir::Fwd => xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop),
-        Dir::Rev => xdrop_core::<true>(s, t, scoring, x, &mut ws.xdrop),
+    extend_xdrop_dir_with(s, t, dir, scoring, x, ws, simd::thread_simd_mode().kernel())
+}
+
+/// [`extend_xdrop_dir_with_workspace`] with the kernel implementation
+/// pinned by the caller instead of resolved from the thread's
+/// [`crate::simd::SimdMode`]. This is the entry point the differential
+/// tests and the kernel benchmarks use to drive both implementations over
+/// the same (dirty) workspace.
+pub fn extend_xdrop_dir_with(
+    s: &[u8],
+    t: &[u8],
+    dir: Dir,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+    imp: KernelImpl,
+) -> Extension {
+    match (dir, imp) {
+        (Dir::Fwd, KernelImpl::Scalar) => xdrop_core::<false>(s, t, scoring, x, &mut ws.xdrop),
+        (Dir::Rev, KernelImpl::Scalar) => xdrop_core::<true>(s, t, scoring, x, &mut ws.xdrop),
+        (Dir::Fwd, KernelImpl::Simd) => xdrop_core_simd::<false>(s, t, scoring, x, ws),
+        (Dir::Rev, KernelImpl::Simd) => xdrop_core_simd::<true>(s, t, scoring, x, ws),
     }
 }
 
@@ -312,13 +567,14 @@ pub fn extend_xdrop_dir_with_workspace(
 /// k-mer (paper §4 step 4: "perform alignment on these read pairs using
 /// the shared k-mer as the starting position (seed)").
 ///
-/// Thin wrapper over [`extend_seed_with_workspace`] with a throwaway
-/// workspace.
+/// Thin wrapper over the **scalar** kernel with a throwaway workspace,
+/// pinned regardless of the `DIBELLA_SIMD` knob so it can serve as the
+/// reference oracle in differential tests.
 ///
 /// # Panics
 /// Panics if the seed exceeds either sequence.
 pub fn extend_seed(a: &[u8], b: &[u8], seed: SeedHit, scoring: Scoring, x: i32) -> SeedAlignment {
-    extend_seed_with_workspace(a, b, seed, scoring, x, &mut AlignWorkspace::new())
+    extend_seed_with(a, b, seed, scoring, x, &mut AlignWorkspace::new(), KernelImpl::Scalar)
 }
 
 /// [`extend_seed`] using caller-owned scratch. The left extension walks
@@ -336,6 +592,24 @@ pub fn extend_seed_with_workspace(
     x: i32,
     ws: &mut AlignWorkspace,
 ) -> SeedAlignment {
+    extend_seed_with(a, b, seed, scoring, x, ws, simd::thread_simd_mode().kernel())
+}
+
+/// [`extend_seed_with_workspace`] with the kernel implementation pinned
+/// by the caller (both directional extensions run on the chosen kernel;
+/// the seed-region prologue is scalar by nature and shared).
+///
+/// # Panics
+/// Panics if the seed exceeds either sequence.
+pub fn extend_seed_with(
+    a: &[u8],
+    b: &[u8],
+    seed: SeedHit,
+    scoring: Scoring,
+    x: i32,
+    ws: &mut AlignWorkspace,
+    imp: KernelImpl,
+) -> SeedAlignment {
     assert!(seed.a_pos + seed.k <= a.len(), "seed out of range in a");
     assert!(seed.b_pos + seed.k <= b.len(), "seed out of range in b");
 
@@ -350,23 +624,25 @@ pub fn extend_seed_with_workspace(
         .sum();
 
     // Left: the prefixes, walked backward in place.
-    let left = extend_xdrop_dir_with_workspace(
+    let left = extend_xdrop_dir_with(
         &a[..seed.a_pos],
         &b[..seed.b_pos],
         Dir::Rev,
         scoring,
         x,
         ws,
+        imp,
     );
 
     // Right: suffixes.
-    let right = extend_xdrop_dir_with_workspace(
+    let right = extend_xdrop_dir_with(
         &a[seed.a_pos + seed.k..],
         &b[seed.b_pos + seed.k..],
         Dir::Fwd,
         scoring,
         x,
         ws,
+        imp,
     );
 
     SeedAlignment {

@@ -8,8 +8,8 @@
 //! while a window is being counted.
 
 use dibella_align::{
-    banded_sw_with_workspace, extend_seed_with_workspace, extend_xdrop_with_workspace,
-    AlignWorkspace, Scoring, SeedHit,
+    banded_sw_with, banded_sw_with_workspace, extend_seed_with_workspace, extend_xdrop_with,
+    extend_xdrop_with_workspace, AlignWorkspace, KernelImpl, Scoring, SeedHit,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,4 +95,31 @@ fn warmed_workspace_kernels_do_not_allocate() {
         extend_seed_with_workspace(&a[..400], &b[..400], small_seed, sc, 25, &mut ws)
     });
     assert_eq!(n, 0, "shrunken follow-up call allocated {n}x");
+
+    // Both explicit kernel implementations — the lane-SIMD path lays the
+    // same buffers out with sentinel + lane padding and stages
+    // substitution scores in extra scratch; all of it must come from the
+    // reused workspace. Warm each path once (the first SIMD call may grow
+    // `sub_scores`/`rev_bytes`), then demand zero.
+    for imp in [KernelImpl::Scalar, KernelImpl::Simd] {
+        let warm = extend_xdrop_with(&a, &b, sc, 25, &mut ws, imp);
+        assert_eq!(warm, warm_x, "kernel implementations must agree");
+        let _ = banded_sw_with(&a, &b, 0, 32, sc, &mut ws, imp);
+        let (n, again) = allocs_during(|| extend_xdrop_with(&a, &b, sc, 25, &mut ws, imp));
+        assert_eq!(n, 0, "extend_xdrop_with({imp:?}) allocated {n}x in steady state");
+        assert_eq!(again, warm_x);
+        let (n, again) = allocs_during(|| banded_sw_with(&a, &b, 0, 32, sc, &mut ws, imp));
+        assert_eq!(n, 0, "banded_sw_with({imp:?}) allocated {n}x in steady state");
+        assert_eq!(again, warm_b);
+        // Alternating implementations over the same workspace must also
+        // be allocation-free once both are warm: layout switches reuse
+        // capacity, never reallocate.
+        let other = match imp {
+            KernelImpl::Scalar => KernelImpl::Simd,
+            KernelImpl::Simd => KernelImpl::Scalar,
+        };
+        let _ = extend_xdrop_with(&a, &b, sc, 25, &mut ws, other);
+        let (n, _) = allocs_during(|| extend_xdrop_with(&a, &b, sc, 25, &mut ws, imp));
+        assert_eq!(n, 0, "layout switch back to {imp:?} allocated {n}x");
+    }
 }

@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dibella_align::{
-    banded_sw, banded_sw_with_workspace, extend_seed, extend_seed_with_workspace, extend_ungapped,
-    extend_xdrop, extend_xdrop_with_workspace, smith_waterman, AlignWorkspace, Scoring, SeedHit,
+    banded_sw, banded_sw_with, banded_sw_with_workspace, extend_seed, extend_seed_with,
+    extend_seed_with_workspace, extend_ungapped, extend_xdrop, extend_xdrop_with_workspace,
+    smith_waterman, AlignWorkspace, KernelImpl, Scoring, SeedHit,
 };
 use dibella_datagen::ErrorModel;
 use rand::rngs::StdRng;
@@ -70,6 +71,16 @@ fn bench_workspace_kernels(c: &mut Criterion) {
     g.bench_function("seed_xdrop_legacy_x25", |bench| {
         bench.iter(|| black_box(extend_seed(&a, &b, seed, sc, 25)))
     });
+    // Scalar vs lane-SIMD, explicitly pinned (bit-identical outputs —
+    // only the cells/s may differ).
+    g.bench_function("seed_xdrop_scalar_x25", |bench| {
+        bench.iter(|| {
+            black_box(extend_seed_with(&a, &b, seed, sc, 25, &mut ws, KernelImpl::Scalar))
+        })
+    });
+    g.bench_function("seed_xdrop_simd_x25", |bench| {
+        bench.iter(|| black_box(extend_seed_with(&a, &b, seed, sc, 25, &mut ws, KernelImpl::Simd)))
+    });
 
     let xdrop_cells = extend_xdrop_with_workspace(&a, &b, sc, 25, &mut ws).cells;
     g.throughput(Throughput::Elements(xdrop_cells));
@@ -81,6 +92,12 @@ fn bench_workspace_kernels(c: &mut Criterion) {
     g.throughput(Throughput::Elements(banded_cells));
     g.bench_function("banded_workspace_hb64", |bench| {
         bench.iter(|| black_box(banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws)))
+    });
+    g.bench_function("banded_scalar_hb64", |bench| {
+        bench.iter(|| black_box(banded_sw_with(&a, &b, 0, 64, sc, &mut ws, KernelImpl::Scalar)))
+    });
+    g.bench_function("banded_simd_hb64", |bench| {
+        bench.iter(|| black_box(banded_sw_with(&a, &b, 0, 64, sc, &mut ws, KernelImpl::Simd)))
     });
     g.finish();
 }

@@ -7,12 +7,15 @@
 //! ```
 //!
 //! (optionally pass an output path as the first argument). The file
-//! records, for the allocation-free workspace kernels and their legacy
-//! allocating twins:
+//! records, for the scalar and lane-SIMD allocation-free workspace
+//! kernels (side by side, same workload — their `cells_per_call` must
+//! agree because the implementations are bit-identical) and the legacy
+//! allocating twin:
 //!
 //! * **cells/s** — DP cells per second, the cost currency of the
 //!   cross-architecture model, on a fixed 2 kb PacBio-like overlapping
-//!   pair;
+//!   pair, plus the `simd_speedup` ratios the SIMD PR is accountable
+//!   for;
 //! * **allocs/call** — heap allocations per kernel call measured by a
 //!   counting global allocator (0 for warmed workspace kernels; the
 //!   legacy − workspace difference is the `allocs_eliminated_per_call`
@@ -24,8 +27,7 @@
 //! are machine-dependent, so compare ratios, not absolutes, across hosts.
 
 use dibella_align::{
-    banded_sw_with_workspace, extend_seed, extend_seed_with_workspace, AlignWorkspace, Scoring,
-    SeedHit,
+    banded_sw_with, extend_seed, extend_seed_with, AlignWorkspace, KernelImpl, Scoring, SeedHit,
 };
 use dibella_core::{run_pipeline, PipelineConfig};
 use dibella_datagen::{ecoli_30x_sample_like, ErrorModel};
@@ -99,21 +101,33 @@ fn main() {
     let seed = SeedHit { a_pos: 800, b_pos: 800, k: 17 };
     let mut ws = AlignWorkspace::new();
 
-    let seed_cells = extend_seed_with_workspace(&a, &b, seed, sc, XDROP_X, &mut ws).cells;
-    let banded_cells = banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws).cells;
+    let seed_scalar_out = extend_seed_with(&a, &b, seed, sc, XDROP_X, &mut ws, KernelImpl::Scalar);
+    let seed_simd_out = extend_seed_with(&a, &b, seed, sc, XDROP_X, &mut ws, KernelImpl::Simd);
+    assert_eq!(seed_scalar_out, seed_simd_out, "kernel implementations disagree on the bench pair");
+    let seed_cells = seed_scalar_out.cells;
+    let banded_cells = banded_sw_with(&a, &b, 0, 64, sc, &mut ws, KernelImpl::Scalar).cells;
 
-    let seed_ws = measure(KERNEL_ITERS, seed_cells, || {
-        black_box(extend_seed_with_workspace(&a, &b, seed, sc, XDROP_X, &mut ws));
+    let seed_scalar = measure(KERNEL_ITERS, seed_cells, || {
+        black_box(extend_seed_with(&a, &b, seed, sc, XDROP_X, &mut ws, KernelImpl::Scalar));
+    });
+    let seed_simd = measure(KERNEL_ITERS, seed_cells, || {
+        black_box(extend_seed_with(&a, &b, seed, sc, XDROP_X, &mut ws, KernelImpl::Simd));
     });
     let seed_legacy = measure(KERNEL_ITERS, seed_cells, || {
         black_box(extend_seed(&a, &b, seed, sc, XDROP_X));
     });
-    let banded_ws = measure(KERNEL_ITERS, banded_cells, || {
-        black_box(banded_sw_with_workspace(&a, &b, 0, 64, sc, &mut ws));
+    let banded_scalar = measure(KERNEL_ITERS, banded_cells, || {
+        black_box(banded_sw_with(&a, &b, 0, 64, sc, &mut ws, KernelImpl::Scalar));
+    });
+    let banded_simd = measure(KERNEL_ITERS, banded_cells, || {
+        black_box(banded_sw_with(&a, &b, 0, 64, sc, &mut ws, KernelImpl::Simd));
     });
 
-    assert!(seed_ws.0 > 0.0, "workspace kernel measured zero throughput");
-    assert_eq!(seed_ws.1, 0.0, "warmed workspace kernel must not allocate");
+    assert!(seed_scalar.0 > 0.0, "scalar kernel measured zero throughput");
+    assert!(seed_simd.0 > 0.0, "SIMD kernel measured zero throughput");
+    assert_eq!(seed_scalar.1, 0.0, "warmed workspace kernel must not allocate");
+    assert_eq!(seed_simd.1, 0.0, "warmed SIMD kernel must not allocate");
+    assert_eq!(banded_simd.1, 0.0, "warmed SIMD banded kernel must not allocate");
 
     // ---- 4-rank end-to-end pipeline ----------------------------------------
     let ds = ecoli_30x_sample_like(0.004, 42);
@@ -126,11 +140,15 @@ fn main() {
     let tasks_per_sec = tasks as f64 / pipe_wall;
 
     let json = format!(
-        "{{\n  \"schema\": \"dibella-bench-kernels/1\",\n  \"pair_len\": {PAIR_LEN},\n  \"error_rate\": {ERROR_RATE},\n  \"xdrop_x\": {XDROP_X},\n  \"kernels\": {{\n{},\n{},\n{}\n  }},\n  \"allocs_eliminated_per_call\": {:.2},\n  \"workspace_scratch_bytes\": {},\n  \"pipeline_4rank\": {{ \"ranks\": 4, \"tasks\": {tasks}, \"dp_cells\": {dp_cells}, \"wall_s\": {pipe_wall:.3}, \"tasks_per_sec\": {tasks_per_sec:.1} }}\n}}\n",
-        kernel_json("seed_xdrop_workspace", seed_ws),
+        "{{\n  \"schema\": \"dibella-bench-kernels/2\",\n  \"pair_len\": {PAIR_LEN},\n  \"error_rate\": {ERROR_RATE},\n  \"xdrop_x\": {XDROP_X},\n  \"kernels\": {{\n{},\n{},\n{},\n{},\n{}\n  }},\n  \"simd_speedup\": {{ \"seed_xdrop\": {:.2}, \"banded\": {:.2} }},\n  \"allocs_eliminated_per_call\": {:.2},\n  \"workspace_scratch_bytes\": {},\n  \"pipeline_4rank\": {{ \"ranks\": 4, \"tasks\": {tasks}, \"dp_cells\": {dp_cells}, \"wall_s\": {pipe_wall:.3}, \"tasks_per_sec\": {tasks_per_sec:.1} }}\n}}\n",
+        kernel_json("seed_xdrop_scalar", seed_scalar),
+        kernel_json("seed_xdrop_simd", seed_simd),
         kernel_json("seed_xdrop_legacy", seed_legacy),
-        kernel_json("banded_workspace", banded_ws),
-        seed_legacy.1 - seed_ws.1,
+        kernel_json("banded_scalar", banded_scalar),
+        kernel_json("banded_simd", banded_simd),
+        seed_simd.0 / seed_scalar.0,
+        banded_simd.0 / banded_scalar.0,
+        seed_legacy.1 - seed_scalar.1,
         ws.scratch_bytes(),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));

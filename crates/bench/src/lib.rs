@@ -22,6 +22,11 @@
 //! `DIBELLA_ROUND_MB` caps every stage's streaming-exchange rounds at
 //! that many MiB per rank (unset = unbounded); alignments and byte
 //! totals are bit-identical at every cap.
+//! `DIBELLA_SIMD` (`scalar` | `auto`, default `auto`) selects the
+//! stage-4 alignment-kernel implementation; it is read by the align
+//! crate itself, so it reaches every harness run without plumbing.
+//! Scalar and lane-SIMD kernels are bit-identical — only cells/s moves
+//! (tracked side by side in `BENCH_kernels.json`).
 
 #![warn(missing_docs)]
 

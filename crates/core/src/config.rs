@@ -1,6 +1,6 @@
 //! End-to-end pipeline configuration.
 
-use dibella_align::Scoring;
+use dibella_align::{Scoring, SimdMode};
 use dibella_comm::TransportKind;
 use dibella_kcount::KcountConfig;
 use dibella_kmer::params;
@@ -68,6 +68,13 @@ pub struct PipelineConfig {
     /// exchanges but reports the `exchange_wall` a modeled interconnect
     /// (virtual Cori, Edison, Titan or AWS) would have charged.
     pub transport: TransportKind,
+    /// Alignment-kernel implementation for stage 4: `Some(mode)` pins it
+    /// for every worker thread; `None` (the default) defers to the
+    /// `DIBELLA_SIMD` environment knob (itself defaulting to
+    /// [`SimdMode::Auto`], the lane-SIMD kernels). Scalar and SIMD
+    /// kernels are bit-identical, so this only moves throughput. The CLI
+    /// exposes this as `--simd`, the bench harness as `DIBELLA_SIMD`.
+    pub simd: Option<SimdMode>,
 }
 
 impl Default for PipelineConfig {
@@ -90,6 +97,7 @@ impl Default for PipelineConfig {
             align_threads: 1,
             threads: None,
             transport: TransportKind::SharedMem,
+            simd: None,
         }
     }
 }
@@ -211,6 +219,14 @@ mod tests {
         let capped = PipelineConfig { max_exchange_bytes_per_round: 1 << 20, ..Default::default() };
         assert_eq!(capped.kcount(1_000).max_exchange_bytes_per_round, 1 << 20);
         assert_eq!(capped.overlap().max_exchange_bytes_per_round, 1 << 20);
+    }
+
+    #[test]
+    fn simd_knob_defaults_to_env_fallback() {
+        // None = resolve per worker thread from DIBELLA_SIMD at batch time.
+        assert_eq!(PipelineConfig::default().simd, None);
+        let cfg = PipelineConfig { simd: Some(SimdMode::Scalar), ..Default::default() };
+        assert_eq!(cfg.simd, Some(SimdMode::Scalar));
     }
 
     #[test]

@@ -42,7 +42,8 @@ USAGE:
   dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--threads N]
                   [--transport shared|sim:<platform>[:<ranks_per_node>]]
                   [--round-mb MB] [--policy one|1000|k] [-e ERR] [-d DEPTH]
-                  [-x XDROP] [--min-score S] [-o out.paf] [--gfa out.gfa]
+                  [-x XDROP] [--min-score S] [--simd scalar|auto]
+                  [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
                   [-e ERR] [-s SEED]
   dibella stats <reads.fastq> [-k K] [-e ERR] [-d DEPTH]";
@@ -139,6 +140,12 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         Some("k") => SeedPolicy::MinDistance(k as u32),
         Some(other) => return Err(format!("unknown --policy {other:?} (one|1000|k)")),
     };
+    // Alignment-kernel implementation: unset defers to the DIBELLA_SIMD
+    // environment knob (default auto = lane-SIMD; bit-identical output).
+    let simd: Option<dibella::align::SimdMode> = match flags.named.get("simd") {
+        None => None,
+        Some(v) => Some(v.parse()?),
+    };
 
     let cfg = PipelineConfig {
         k,
@@ -150,6 +157,7 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         threads: Some(threads),
         transport,
         max_exchange_bytes_per_round: round_bytes,
+        simd,
         ..Default::default()
     };
     let round_cap = if round_bytes == usize::MAX {

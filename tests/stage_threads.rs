@@ -96,6 +96,36 @@ fn all_stages_bit_identical_across_threads() {
     }
 }
 
+/// The alignment-kernel implementation axis: pinning stage 4 to the
+/// scalar kernel vs `Auto` (the lane-SIMD kernels) must never change the
+/// pipeline output — merged alignment records and every rank's alignment
+/// counters (including the `dp_cells` tally the cost model consumes) are
+/// bit-identical across kernel implementations, at every thread count.
+#[test]
+fn simd_mode_bit_identical_across_kernels_and_threads() {
+    use dibella::align::SimdMode;
+    let reads = dataset(24, 200, 60, 0x51D_CAFE);
+    let ranks = 4;
+    let with_mode = |threads: usize, mode: SimdMode| PipelineConfig {
+        simd: Some(mode),
+        ..cfg(threads, TransportKind::SharedMem, usize::MAX)
+    };
+    let baseline = run_pipeline(&reads, ranks, &with_mode(1, SimdMode::Scalar));
+    assert!(!baseline.alignments.is_empty(), "workload must reach the alignment stage");
+    for mode in [SimdMode::Scalar, SimdMode::Auto] {
+        for threads in [1usize, 2, 4] {
+            let run = run_pipeline(&reads, ranks, &with_mode(threads, mode));
+            let at = format!("simd={mode} threads={threads}");
+            assert_eq!(run.alignments, baseline.alignments, "records diverge at {at}");
+            for (par, seq) in run.reports.iter().zip(&baseline.reports) {
+                let rank = par.rank;
+                assert_eq!(par.align, seq.align, "rank {rank} align counters, {at}");
+                assert_eq!(par.overlap, seq.overlap, "rank {rank} overlap counters, {at}");
+            }
+        }
+    }
+}
+
 /// Across round caps the per-round decomposition changes (more, smaller
 /// exchanges) but the final output must not — at any thread count.
 #[test]

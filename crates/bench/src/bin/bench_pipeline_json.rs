@@ -7,23 +7,28 @@
 //! ```
 //!
 //! (optionally pass an output path as the first argument). The file
-//! records one full 4-rank pipeline run on the fixed sampled E. coli 30×
-//! workload: per stage, the slowest rank's wall, exchange, pack and
-//! derived compute seconds (pack and exchange are concurrent intervals —
-//! their sum may exceed the wall; the excess is the engine's overlap),
-//! the executed streaming-exchange rounds, the total bytes shipped and
+//! records one full 4-rank pipeline run per seed mode (`reliable` and
+//! `minimizer`) on the fixed sampled E. coli 30× workload: per stage, the
+//! slowest rank's wall, exchange, pack and derived compute seconds (pack
+//! and exchange are concurrent intervals — their sum may exceed the wall;
+//! the excess is the engine's overlap), the executed streaming-exchange
+//! rounds, the total bytes shipped, the bytes shipped per input base, and
 //! the largest single-round send volume (`CommStats::peak_round_bytes` —
 //! the figure `--round-mb` / `DIBELLA_ROUND_MB` bounds), plus
-//! whole-pipeline wall and alignment counts.
+//! whole-pipeline wall, byte and alignment counts. The top-level
+//! `seed_bytes_ratio` is the reliable front end's seed-stage wire bytes
+//! (bloom + hash) over the minimizer sketch's — the sketch's headline
+//! saving.
 //!
 //! Perf PRs diff this file to leave a measurable end-to-end trajectory;
 //! wall seconds are machine-dependent (compare ratios across hosts), while
 //! rounds, bytes and peaks are exact and must only move when the exchange
 //! engine or the workload does. The usual knobs apply: `DIBELLA_SCALE`,
-//! `DIBELLA_TRANSPORT`, `DIBELLA_THREADS` and `DIBELLA_ROUND_MB`.
+//! `DIBELLA_TRANSPORT`, `DIBELLA_THREADS` and `DIBELLA_ROUND_MB`
+//! (`DIBELLA_SEED_MODE` is ignored — both modes are always recorded).
 
 use dibella_bench::{config_for, dataset, Workload};
-use dibella_core::{run_pipeline, RankReport};
+use dibella_core::{run_pipeline, PipelineResult, RankReport, SeedMode};
 use dibella_overlap::SeedPolicy;
 use std::time::Instant;
 
@@ -76,27 +81,24 @@ fn stage_rows(reports: &[RankReport]) -> Vec<StageRow> {
         .collect()
 }
 
-fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".into());
+/// Seed-stage (bloom + hash) wire bytes of a run — the volume the
+/// minimizer sketch exists to shrink.
+fn seed_bytes(reports: &[RankReport]) -> u64 {
+    reports
+        .iter()
+        .map(|r| r.bloom_comm.total_bytes() + r.hash_comm.total_bytes())
+        .sum()
+}
 
-    let workload = Workload::E30Sample;
-    let ds = dataset(workload);
-    let cfg = config_for(workload, SeedPolicy::Single);
-    let t0 = Instant::now();
-    let res = run_pipeline(&ds.reads, RANKS, &cfg);
-    let elapsed = t0.elapsed().as_secs_f64();
-
+/// Render one mode's `{ "stages": ..., "pipeline": ... }` object.
+fn mode_json(res: &PipelineResult, elapsed_s: f64, input_bases: u64) -> String {
     let rows = stage_rows(&res.reports);
-    let round_cap = if cfg.max_exchange_bytes_per_round == usize::MAX {
-        "null".to_owned()
-    } else {
-        cfg.max_exchange_bytes_per_round.to_string()
-    };
+    let per_base = |bytes: u64| bytes as f64 / input_bases as f64;
     let stages: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    \"{}\": {{ \"wall_s_max\": {:.6}, \"exchange_s_max\": {:.6}, \"pack_s_max\": {:.6}, \"compute_s_max\": {:.6}, \"rounds\": {}, \"bytes_total\": {}, \"peak_round_bytes_max\": {} }}",
+                "        \"{}\": {{ \"wall_s_max\": {:.6}, \"exchange_s_max\": {:.6}, \"pack_s_max\": {:.6}, \"compute_s_max\": {:.6}, \"rounds\": {}, \"bytes_total\": {}, \"bytes_per_input_base\": {:.6}, \"peak_round_bytes_max\": {} }}",
                 r.name,
                 r.wall_s_max,
                 r.exchange_s_max,
@@ -104,21 +106,58 @@ fn main() {
                 r.compute_s_max,
                 r.rounds_max,
                 r.bytes_total,
+                per_base(r.bytes_total),
                 r.peak_round_bytes_max,
             )
         })
         .collect();
-    let alignments: u64 = res.n_alignments_computed();
-    let json = format!(
-        "{{\n  \"schema\": \"dibella-pipeline-baseline/2\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {},\n  \"ranks\": {RANKS},\n  \"threads\": {},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"stages\": {{\n{}\n  }},\n  \"pipeline\": {{ \"wall_s\": {elapsed:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {alignments}, \"pairs\": {} }}\n}}\n",
-        workload.name(),
-        ds.reads.len(),
-        ds.reads.total_bases(),
-        cfg.effective_threads(),
-        cfg.transport,
+    let bytes_total: u64 = rows.iter().map(|r| r.bytes_total).sum();
+    format!(
+        "{{\n      \"stages\": {{\n{}\n      }},\n      \"pipeline\": {{ \"wall_s\": {elapsed_s:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {}, \"pairs\": {}, \"bytes_total\": {bytes_total}, \"bytes_per_input_base\": {:.6} }}\n    }}",
         stages.join(",\n"),
         res.wall().as_secs_f64(),
+        res.n_alignments_computed(),
         res.n_pairs(),
+        per_base(bytes_total),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".into());
+
+    let workload = Workload::E30Sample;
+    let ds = dataset(workload);
+    let input_bases = ds.reads.total_bases();
+    let base_cfg = config_for(workload, SeedPolicy::Single);
+
+    let mut modes = Vec::new();
+    let mut per_mode_seed_bytes = [0u64; 2];
+    for (i, seed_mode) in [SeedMode::Reliable, SeedMode::Minimizer].into_iter().enumerate() {
+        let cfg = dibella_core::PipelineConfig { seed_mode, ..base_cfg.clone() };
+        eprintln!("[bench] running {} seeds={seed_mode} P={RANKS} ...", workload.name());
+        let t0 = Instant::now();
+        let res = run_pipeline(&ds.reads, RANKS, &cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        per_mode_seed_bytes[i] = seed_bytes(&res.reports);
+        modes.push(format!(
+            "    \"{seed_mode}\": {}",
+            mode_json(&res, elapsed, input_bases)
+        ));
+    }
+    let seed_bytes_ratio = per_mode_seed_bytes[0] as f64 / per_mode_seed_bytes[1] as f64;
+
+    let round_cap = if base_cfg.max_exchange_bytes_per_round == usize::MAX {
+        "null".to_owned()
+    } else {
+        base_cfg.max_exchange_bytes_per_round.to_string()
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"dibella-pipeline-baseline/3\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {input_bases},\n  \"ranks\": {RANKS},\n  \"threads\": {},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"seed_bytes_ratio\": {seed_bytes_ratio:.3},\n  \"modes\": {{\n{}\n  }}\n}}\n",
+        workload.name(),
+        ds.reads.len(),
+        base_cfg.effective_threads(),
+        base_cfg.transport,
+        modes.join(",\n"),
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     eprintln!("wrote {out_path}:");

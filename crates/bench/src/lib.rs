@@ -27,11 +27,15 @@
 //! crate itself, so it reaches every harness run without plumbing.
 //! Scalar and lane-SIMD kernels are bit-identical — only cells/s moves
 //! (tracked side by side in `BENCH_kernels.json`).
+//! `DIBELLA_SEED_MODE` (`reliable` | `minimizer`, default `reliable`)
+//! selects the seed front end: the paper's two-pass reliable-k-mer
+//! counter, or the single-pass minimizer sketch (fewer wire bytes, seeds
+//! filtered by colinear chaining).
 
 #![warn(missing_docs)]
 
 use dibella_comm::TransportKind;
-use dibella_core::{run_pipeline, PipelineConfig, RankReport};
+use dibella_core::{run_pipeline, PipelineConfig, RankReport, SeedMode};
 use dibella_datagen::{ecoli_100x_like, ecoli_30x_like, ecoli_30x_sample_like, SyntheticDataset};
 use dibella_netmodel::{NodeMapping, Platform, Series};
 use dibella_overlap::SeedPolicy;
@@ -91,6 +95,14 @@ pub fn env_align_threads() -> usize {
     env_threads()
 }
 
+/// The `DIBELLA_SEED_MODE` environment knob: which seed front end the
+/// pipeline runs (`reliable` | `minimizer`; see
+/// [`dibella_core::PipelineConfig::seed_mode`]). Invalid values abort
+/// loudly rather than silently benchmarking the wrong mode.
+pub fn env_seed_mode() -> SeedMode {
+    PipelineConfig::env_seed_mode()
+}
+
 /// The `DIBELLA_TRANSPORT` environment knob: which communication backend
 /// pipeline runs execute on (see
 /// [`dibella_core::PipelineConfig::transport`]). Invalid values abort
@@ -147,6 +159,7 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         threads: Some(env_threads()),
         transport: env_transport(),
         max_exchange_bytes_per_round: env_round_bytes(),
+        seed_mode: env_seed_mode(),
         ..Default::default()
     }
 }
@@ -312,6 +325,19 @@ mod tests {
         assert_eq!(env_threads(), 9, "deprecated spelling still honored");
         std::env::remove_var("DIBELLA_ALIGN_THREADS");
         assert_eq!(env_threads(), 1);
+    }
+
+    #[test]
+    fn seed_mode_env_knob() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DIBELLA_SEED_MODE", "minimizer");
+        assert_eq!(env_seed_mode(), SeedMode::Minimizer);
+        assert_eq!(
+            config_for(Workload::E30, SeedPolicy::Single).seed_mode,
+            SeedMode::Minimizer
+        );
+        std::env::remove_var("DIBELLA_SEED_MODE");
+        assert_eq!(env_seed_mode(), SeedMode::Reliable);
     }
 
     #[test]

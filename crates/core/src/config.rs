@@ -4,7 +4,46 @@ use dibella_align::{Scoring, SimdMode};
 use dibella_comm::TransportKind;
 use dibella_kcount::KcountConfig;
 use dibella_kmer::params;
-use dibella_overlap::{OverlapConfig, SeedPolicy, TaskPlacement};
+use dibella_overlap::{ChainConfig, OverlapConfig, SeedPolicy, TaskPlacement};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which seed source feeds the overlap stage (the pipeline's front end).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SeedMode {
+    /// The paper's reliable-k-mer front end: a distributed Bloom pass
+    /// eliminates singletons, then a full hash pass attaches occurrence
+    /// lists — every k-mer instance crosses the wire twice (8 + 20
+    /// bytes).
+    #[default]
+    Reliable,
+    /// Minimizer-sketch front end (minimap-style): one pass exchanges
+    /// only (w, k) window-minimum k-mers (~`2/(w+1)` of instances, 20
+    /// bytes each), and candidate pairs are colinear-chained before
+    /// alignment. Traffic shrinks several-fold; recall on genuine
+    /// overlaps stays within a few percent (see `tests/seed_modes.rs`).
+    Minimizer,
+}
+
+impl FromStr for SeedMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reliable" => Ok(SeedMode::Reliable),
+            "minimizer" => Ok(SeedMode::Minimizer),
+            other => Err(format!("unknown seed mode {other:?} (expected reliable|minimizer)")),
+        }
+    }
+}
+
+impl fmt::Display for SeedMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SeedMode::Reliable => "reliable",
+            SeedMode::Minimizer => "minimizer",
+        })
+    }
+}
 
 /// Configuration of the full four-stage pipeline.
 #[derive(Clone, Debug)]
@@ -17,6 +56,19 @@ pub struct PipelineConfig {
     pub depth: f64,
     /// Override the derived high-occurrence threshold `m`.
     pub max_multiplicity: Option<u32>,
+    /// Seed source for the overlap stage: the paper's reliable-k-mer
+    /// passes, or the minimizer sketch (`--seed-mode`,
+    /// `DIBELLA_SEED_MODE`).
+    pub seed_mode: SeedMode,
+    /// Minimizer window width `w` (number of consecutive k-mer windows a
+    /// selected k-mer must win; only used under
+    /// [`SeedMode::Minimizer`]). Expected sketch density is
+    /// `2/(w + 1)`.
+    pub minimizer_w: usize,
+    /// Minimum colinear-chain length for a minimizer-mode candidate pair
+    /// to survive into alignment (only used under
+    /// [`SeedMode::Minimizer`]).
+    pub min_chain_seeds: usize,
     /// Seed exploration policy (one-seed / min-distance; paper §5).
     pub seed_policy: SeedPolicy,
     /// Cap on seeds explored per pair.
@@ -84,6 +136,9 @@ impl Default for PipelineConfig {
             error_rate: 0.15,
             depth: 30.0,
             max_multiplicity: None,
+            seed_mode: SeedMode::Reliable,
+            minimizer_w: 7,
+            min_chain_seeds: 2,
             seed_policy: SeedPolicy::Single,
             max_seeds_per_pair: 16,
             xdrop: 25,
@@ -163,7 +218,21 @@ impl PipelineConfig {
         1
     }
 
-    /// Derive the overlap-stage configuration.
+    /// The seed mode requested via the environment (`DIBELLA_SEED_MODE`),
+    /// defaulting to [`SeedMode::Reliable`] when unset. Panics on an
+    /// unparsable value — a silently ignored mode switch is worse than a
+    /// crash. Feed the result to [`PipelineConfig::seed_mode`].
+    pub fn env_seed_mode() -> SeedMode {
+        match std::env::var("DIBELLA_SEED_MODE") {
+            Err(_) => SeedMode::Reliable,
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("DIBELLA_SEED_MODE: {e}")),
+        }
+    }
+
+    /// Derive the overlap-stage configuration. The chain filter is
+    /// enabled exactly when the minimizer front end feeds the stage.
     pub fn overlap(&self) -> OverlapConfig {
         OverlapConfig {
             policy: self.seed_policy,
@@ -171,6 +240,12 @@ impl PipelineConfig {
             placement: self.placement,
             max_exchange_bytes_per_round: self.max_exchange_bytes_per_round,
             pair_batch: OverlapConfig::DEFAULT_PAIR_BATCH,
+            chain: match self.seed_mode {
+                SeedMode::Reliable => None,
+                SeedMode::Minimizer => {
+                    Some(ChainConfig { min_chain_seeds: self.min_chain_seeds })
+                }
+            },
         }
     }
 }
@@ -227,6 +302,26 @@ mod tests {
         assert_eq!(PipelineConfig::default().simd, None);
         let cfg = PipelineConfig { simd: Some(SimdMode::Scalar), ..Default::default() };
         assert_eq!(cfg.simd, Some(SimdMode::Scalar));
+    }
+
+    #[test]
+    fn seed_mode_parses_and_wires_the_chain() {
+        assert_eq!("reliable".parse::<SeedMode>().unwrap(), SeedMode::Reliable);
+        assert_eq!("Minimizer".parse::<SeedMode>().unwrap(), SeedMode::Minimizer);
+        assert!("bloom".parse::<SeedMode>().is_err());
+        assert_eq!(SeedMode::Minimizer.to_string(), "minimizer");
+        // Reliable mode: no chain filter. Minimizer mode: chain on, with
+        // the configured minimum.
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.seed_mode, SeedMode::Reliable);
+        assert!(cfg.overlap().chain.is_none());
+        let cfg = PipelineConfig {
+            seed_mode: SeedMode::Minimizer,
+            min_chain_seeds: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.overlap().chain, Some(ChainConfig { min_chain_seeds: 3 }));
+        assert_eq!(cfg.minimizer_w, 7);
     }
 
     #[test]

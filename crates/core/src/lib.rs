@@ -40,7 +40,7 @@ pub mod pipeline;
 pub mod record;
 
 pub use alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
-pub use config::PipelineConfig;
+pub use config::{PipelineConfig, SeedMode};
 pub use graph::{OverlapEdge, OverlapGraph};
 pub use model::{project, rank_load, PipelineProjection, Stage};
 pub use pipeline::{

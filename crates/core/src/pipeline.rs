@@ -24,11 +24,13 @@
 //! alignments and traffic counters stay byte-identical.
 
 use crate::alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
-use crate::config::PipelineConfig;
+use crate::config::{PipelineConfig, SeedMode};
 use crate::record::AlignmentRecord;
 use dibella_comm::{BatchedExecutor, Comm, CommStats, CommWorld};
 use dibella_io::{parse_block, partition_reads, byte_ranges, Read, ReadPartition, ReadSet, ReadStore};
-use dibella_kcount::{bloom_stage_overlapping, hash_stage_prepacked, FilterStats, KmerStageCounters};
+use dibella_kcount::{
+    bloom_stage_overlapping, hash_stage_prepacked, minimizer_stage, FilterStats, KmerStageCounters,
+};
 use dibella_overlap::{overlap_stage_with_lengths, OverlapCounters, TaskPlacement};
 use std::time::{Duration, Instant};
 
@@ -76,7 +78,8 @@ pub struct RankReport {
     /// Bases owned by this rank.
     pub local_bases: u64,
     // ---- stage 1: Bloom filter ----
-    /// Bloom-pass work counters.
+    /// Bloom-pass work counters (all-zero under
+    /// [`SeedMode::Minimizer`], which skips the Bloom pass entirely).
     pub bloom: KmerStageCounters,
     /// Bloom-pass traffic.
     pub bloom_comm: CommStats,
@@ -87,7 +90,8 @@ pub struct RankReport {
     /// Keys promoted into the hash table.
     pub table_keys: u64,
     // ---- stage 2: hash table ----
-    /// Hash-pass work counters.
+    /// Hash-pass work counters. Under [`SeedMode::Minimizer`] this slot
+    /// holds the single minimizer-index pass instead.
     pub hash: KmerStageCounters,
     /// Hash-pass traffic.
     pub hash_comm: CommStats,
@@ -188,30 +192,77 @@ pub fn pipeline_rank(
     let exec = BatchedExecutor::new(cfg.effective_threads());
     comm.take_stats(); // reset counters; setup traffic is not charged to a stage
 
-    // ---- stage 1: Bloom filter ------------------------------------------
-    // Cross-stage overlap: the hash pass's first round is packed while the
-    // Bloom pass's last exchange is still in flight (the pre-pack reads
-    // only local data, which nothing in flight can change).
-    let t = Instant::now();
-    let (bloom_out, prepacked) = bloom_stage_overlapping(comm, &local, &kc, &exec);
-    let bloom_comm = comm.take_stats();
-    let bloom_wall = StageTiming {
-        total: t.elapsed(),
-        exchange: bloom_comm.exchange_wall,
-        pack: bloom_comm.pack_wall,
-    };
-    let mut table = bloom_out.table;
-    let table_keys = table.len() as u64;
+    // ---- stages 1 + 2: seed-source front end ------------------------------
+    // Reliable mode runs the paper's two passes (Bloom, then hash, with
+    // the cross-stage pack overlap). Minimizer mode replaces both with
+    // one sketch pass that fills the stage-2 slot of the report; the
+    // stage-1 slot stays zeroed — no Bloom pass runs, nothing is timed
+    // or exchanged there.
+    #[allow(clippy::type_complexity)]
+    let (table, bloom_counters, bloom_comm, bloom_wall, bloom_bytes, table_keys, hash_counters, hash_comm, hash_wall, filter) =
+        match cfg.seed_mode {
+            SeedMode::Reliable => {
+                // Cross-stage overlap: the hash pass's first round is
+                // packed while the Bloom pass's last exchange is still in
+                // flight (the pre-pack reads only local data, which
+                // nothing in flight can change).
+                let t = Instant::now();
+                let (bloom_out, prepacked) = bloom_stage_overlapping(comm, &local, &kc, &exec);
+                let bloom_comm = comm.take_stats();
+                let bloom_wall = StageTiming {
+                    total: t.elapsed(),
+                    exchange: bloom_comm.exchange_wall,
+                    pack: bloom_comm.pack_wall,
+                };
+                let mut table = bloom_out.table;
+                let table_keys = table.len() as u64;
 
-    // ---- stage 2: hash table ----------------------------------------------
-    let t = Instant::now();
-    let hash_out = hash_stage_prepacked(comm, &local, &mut table, &kc, &exec, Some(prepacked));
-    let hash_comm = comm.take_stats();
-    let hash_wall = StageTiming {
-        total: t.elapsed(),
-        exchange: hash_comm.exchange_wall,
-        pack: hash_comm.pack_wall,
-    };
+                let t = Instant::now();
+                let hash_out =
+                    hash_stage_prepacked(comm, &local, &mut table, &kc, &exec, Some(prepacked));
+                let hash_comm = comm.take_stats();
+                let hash_wall = StageTiming {
+                    total: t.elapsed(),
+                    exchange: hash_comm.exchange_wall,
+                    pack: hash_comm.pack_wall,
+                };
+                (
+                    table,
+                    bloom_out.counters,
+                    bloom_comm,
+                    bloom_wall,
+                    bloom_out.bloom_bytes as u64,
+                    table_keys,
+                    hash_out.counters,
+                    hash_comm,
+                    hash_wall,
+                    hash_out.filter,
+                )
+            }
+            SeedMode::Minimizer => {
+                let t = Instant::now();
+                let mo = minimizer_stage(comm, &local, cfg.minimizer_w, &kc, &exec);
+                let hash_comm = comm.take_stats();
+                let hash_wall = StageTiming {
+                    total: t.elapsed(),
+                    exchange: hash_comm.exchange_wall,
+                    pack: hash_comm.pack_wall,
+                };
+                let table_keys = mo.counters.promoted_keys;
+                (
+                    mo.table,
+                    KmerStageCounters::default(),
+                    CommStats::new(comm.size()),
+                    StageTiming::default(),
+                    0,
+                    table_keys,
+                    mo.counters,
+                    hash_comm,
+                    hash_wall,
+                    mo.filter,
+                )
+            }
+        };
     let table_bytes = table.memory_bytes();
 
     // ---- stage 3: overlap ---------------------------------------------------
@@ -256,15 +307,15 @@ pub fn pipeline_rank(
         ranks: comm.size(),
         local_reads,
         local_bases,
-        bloom: bloom_out.counters,
+        bloom: bloom_counters,
         bloom_comm,
         bloom_wall,
-        bloom_bytes: bloom_out.bloom_bytes as u64,
+        bloom_bytes,
         table_keys,
-        hash: hash_out.counters,
+        hash: hash_counters,
         hash_comm,
         hash_wall,
-        filter: hash_out.filter,
+        filter,
         table_bytes,
         overlap: overlap_out.counters,
         overlap_comm,
@@ -475,5 +526,67 @@ mod tests {
         let res = run_pipeline(&reads, 1, &small_cfg());
         assert!(!res.alignments.is_empty());
         assert_eq!(res.reports.len(), 1);
+    }
+
+    fn minimizer_cfg() -> PipelineConfig {
+        PipelineConfig {
+            seed_mode: SeedMode::Minimizer,
+            minimizer_w: 5,
+            min_chain_seeds: 2,
+            ..small_cfg()
+        }
+    }
+
+    #[test]
+    fn minimizer_mode_finds_neighbour_overlaps() {
+        let reads = dataset(10, 200, 60, 42);
+        let res = run_pipeline(&reads, 3, &minimizer_cfg());
+        // Adjacent reads overlap by 140 bases; the sketch keeps enough
+        // shared minimizers for every neighbour pair to survive chaining.
+        for i in 0..9u32 {
+            let rec = res
+                .alignments
+                .iter()
+                .find(|r| r.pair == dibella_overlap::ReadPair::new(i, i + 1))
+                .unwrap_or_else(|| panic!("missing alignment ({i},{})", i + 1));
+            assert!(rec.score >= 120, "pair ({i},{}): score {}", i, rec.score);
+            assert!(!rec.reverse);
+        }
+        for r in &res.reports {
+            // The Bloom pass is skipped: its report slot is all-zero.
+            assert_eq!(r.bloom, dibella_kcount::KmerStageCounters::default());
+            assert_eq!(r.bloom_comm.total_bytes(), 0);
+            assert_eq!(r.bloom_bytes, 0);
+            assert!(r.hash.rounds >= 1);
+            assert_eq!(r.hash_comm.alltoallv_calls, r.hash.rounds);
+        }
+        // The sketch samples a subset of windows, so it must ship strictly
+        // fewer seed-stage bytes than the two-pass reliable front end.
+        let reliable = run_pipeline(&reads, 3, &small_cfg());
+        let sketch_bytes: u64 = res.reports.iter().map(|r| r.hash_comm.total_bytes()).sum();
+        let two_pass_bytes: u64 = reliable
+            .reports
+            .iter()
+            .map(|r| r.bloom_comm.total_bytes() + r.hash_comm.total_bytes())
+            .sum();
+        assert!(
+            sketch_bytes * 2 < two_pass_bytes,
+            "sketch {sketch_bytes} B vs reliable {two_pass_bytes} B"
+        );
+    }
+
+    #[test]
+    fn minimizer_mode_world_size_invariance() {
+        let reads = dataset(12, 150, 50, 7);
+        let cfg = minimizer_cfg();
+        let baseline = run_pipeline(&reads, 1, &cfg);
+        assert!(!baseline.alignments.is_empty());
+        for p in [2usize, 4, 5] {
+            let r = run_pipeline(&reads, p, &cfg);
+            assert_eq!(
+                r.alignments, baseline.alignments,
+                "P={p} diverges from serial"
+            );
+        }
     }
 }

@@ -4,7 +4,10 @@
 //! pass that eliminates singleton k-mers and initializes the hash table
 //! with non-singleton keys (paper §6), and the distributed hash-table pass
 //! that attaches (read, position, strand) occurrence lists and filters to
-//! the *reliable* k-mer set (paper §7).
+//! the *reliable* k-mer set (paper §7). Under `--seed-mode minimizer`
+//! both passes are replaced by a single sketch pass
+//! ([`stages::minimizer_stage`]) that exchanges only (w, k) window-minimum
+//! k-mers — a small fraction of the traffic — into the same table shape.
 //!
 //! Both passes are SPMD functions over a [`dibella_comm::Comm`] handle and
 //! stream their input in bounded rounds of irregular `Alltoallv`
@@ -20,7 +23,7 @@ pub mod table;
 pub use cardinality::hll_cardinality;
 pub use config::KcountConfig;
 pub use stages::{
-    bloom_stage, bloom_stage_overlapping, hash_stage, hash_stage_prepacked, BloomOutput,
-    HashOutput, KmerStageCounters, PrepackedKmerRound,
+    bloom_stage, bloom_stage_overlapping, hash_stage, hash_stage_prepacked, minimizer_stage,
+    BloomOutput, HashOutput, KmerStageCounters, MinimizerOutput, PrepackedKmerRound,
 };
 pub use table::{FilterStats, KmerEntry, KmerHashTable, Occurrence};

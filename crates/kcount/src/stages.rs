@@ -32,9 +32,10 @@ use dibella_comm::{
     Wire,
 };
 use dibella_io::Read;
-use dibella_kmer::{window_hits, Kmer1, KmerHit, Strand, WindowIndex};
+use dibella_kmer::{minimizer_window_hits, window_hits, Kmer1, KmerHit, Strand, WindowIndex};
 use dibella_sketch::BloomFilter;
 use std::cell::RefCell;
+use std::time::{Duration, Instant};
 
 /// Bloom-pass record: the packed canonical k-mer word.
 type BloomMsg = u64;
@@ -133,6 +134,14 @@ where
         (wire, parsed)
     });
 
+    merge_packed_batches(batches, ranks)
+}
+
+/// Concatenate per-batch per-destination wire buffers in batch order and
+/// sum the per-batch hit counts. Concatenating encoded slices equals
+/// encoding the concatenated record stream, so the merge preserves the
+/// bit-identity of a sequential pack.
+fn merge_packed_batches(batches: Vec<(Vec<Vec<u8>>, u64)>, ranks: usize) -> (Vec<Vec<u8>>, u64) {
     let mut merged: Vec<Vec<u8>> = vec![Vec::new(); ranks];
     let mut parsed = 0u64;
     for (wire, n) in batches {
@@ -146,6 +155,45 @@ where
         }
     }
     (merged, parsed)
+}
+
+/// Pack the global window range `[lo, hi)` of the minimizer pass: same
+/// batch sharding and batch-order merge as [`pack_kmer_windows`], but
+/// each piece yields only its (w, k) minimizers
+/// ([`minimizer_window_hits`] re-derives a piece with `w − 1` windows of
+/// context on each side, so cutting the window space at round or batch
+/// boundaries never changes which k-mers are selected). Records use the
+/// hash-pass wire layout.
+#[allow(clippy::too_many_arguments)]
+fn pack_minimizer_windows(
+    reads: &[Read],
+    idx: &WindowIndex,
+    lo: u64,
+    hi: u64,
+    ranks: usize,
+    w: usize,
+    batch_windows: usize,
+    exec: &BatchedExecutor,
+) -> (Vec<Vec<u8>>, u64) {
+    let k = idx.k();
+    let batch_windows = batch_windows.max(1) as u64;
+    let n_batches = (hi.saturating_sub(lo)).div_ceil(batch_windows) as usize;
+    let batches = exec.map_indexed(n_batches, |b| {
+        let blo = lo + b as u64 * batch_windows;
+        let bhi = (blo + batch_windows).min(hi);
+        let mut bufs: Vec<Vec<HashMsg>> = vec![Vec::new(); ranks];
+        let mut parsed = 0u64;
+        for (ri, plo, phi) in idx.pieces(blo, bhi) {
+            let read = &reads[ri];
+            for hit in minimizer_window_hits(&read.seq, k, w, plo, phi) {
+                parsed += 1;
+                bufs[hit.kmer.owner(ranks)].push(hash_msg(read, &hit));
+            }
+        }
+        let wire: Vec<Vec<u8>> = bufs.into_iter().map(|b| encode_slice(&b)).collect();
+        (wire, parsed)
+    });
+    merge_packed_batches(batches, ranks)
 }
 
 /// The per-round k-mer budget of a pass: the record cap and the byte cap,
@@ -173,6 +221,12 @@ pub struct PrepackedKmerRound {
     windows: u64,
     /// k it was packed for.
     k: usize,
+    /// Wall time the pack took under the Bloom pass's last exchange. It
+    /// is credited to `CommStats::pack_wall` by the stage that *ships*
+    /// the buffers ([`hash_stage_prepacked`]), not the stage that packed
+    /// them — so the hash pass's reported pack wall covers all of its
+    /// rounds even though round 0 was packed early.
+    pack_wall: Duration,
 }
 
 /// Stage 1 — distributed Bloom filter construction (paper §6).
@@ -296,9 +350,10 @@ fn prepack_hash_round0(
 ) -> PrepackedKmerRound {
     let per_round = kmers_per_round::<HashMsg>(cfg) as u64;
     let hi = per_round.min(idx.total_windows());
+    let t = Instant::now();
     let (bufs, parsed) =
         pack_kmer_windows::<HashMsg, _>(reads, idx, 0, hi, ranks, cfg.extract_batch, exec, &hash_msg);
-    PrepackedKmerRound { bufs, parsed, windows: hi, k: cfg.k }
+    PrepackedKmerRound { bufs, parsed, windows: hi, k: cfg.k, pack_wall: t.elapsed() }
 }
 
 /// Result of the hash-table pass.
@@ -362,6 +417,11 @@ pub fn hash_stage_prepacked(
                     debug_assert_eq!(pp.k, cfg.k, "prepacked round for a different k");
                     debug_assert_eq!(pp.windows, hi, "prepacked round for a different cap");
                     parsed += pp.parsed;
+                    // The pack ran under the Bloom pass's last exchange,
+                    // but the bytes ship here — credit the pack wall to
+                    // this stage's stats window so `pack_s_max` reflects
+                    // every round the hash pass sends.
+                    comm.add_pack_wall(pp.pack_wall);
                     return pp.bufs;
                 }
             }
@@ -402,6 +462,98 @@ pub fn hash_stage_prepacked(
 
     let filter = table.retain_reliable(cfg.max_multiplicity);
     HashOutput { filter, counters }
+}
+
+/// Result of the single-pass minimizer-sketch stage.
+#[derive(Debug)]
+pub struct MinimizerOutput {
+    /// Hash-table partition keyed by the retained minimizer k-mers, with
+    /// full (read, position, strand) occurrence lists — the same shape
+    /// the reliable path hands to the overlap stage.
+    pub table: KmerHashTable,
+    /// Reliable filter statistics over the minimizer key set.
+    pub filter: crate::table::FilterStats,
+    /// Work counters (`kmers_parsed` counts *selected* minimizers, not
+    /// windows; `promoted_keys` counts keys created on first sighting).
+    pub counters: KmerStageCounters,
+}
+
+/// Single-pass distributed minimizer index construction — the sketch
+/// front end that replaces stages 1 + 2 under `--seed-mode minimizer`.
+///
+/// Each rank extracts the (w, k) minimizers of its reads
+/// ([`minimizer_window_hits`], threaded over `exec` with the same
+/// fixed-batch window sharding as the reliable passes) and routes each
+/// selected k-mer, with its occurrence metadata, to its owner by
+/// canonical hash — the identical 20-byte wire record and
+/// [`RoundExchange`] drive as the hash pass. Owners insert-or-record
+/// (no Bloom pre-pass: the sketch keeps only ~`2/(w+1)` of k-mer
+/// instances, so the key set is already bounded), then apply the same
+/// reliable filter — singletons witness no read pairs, and keys over
+/// `m` occurrences are repeat-masked exactly as in the reliable path.
+///
+/// Rounds are planned over the full window index space (selected
+/// minimizers are a subset of windows), so the per-round record and
+/// byte caps hold as upper bounds and the round structure is a pure
+/// function of the input — bit-identical wire bytes at any thread
+/// count, transport, or `--round-mb` cap.
+pub fn minimizer_stage(
+    comm: &Comm,
+    reads: &[Read],
+    w: usize,
+    cfg: &KcountConfig,
+    exec: &BatchedExecutor,
+) -> MinimizerOutput {
+    let p = comm.size();
+    let mut table = KmerHashTable::with_capacity(1024);
+    let mut counters = KmerStageCounters::default();
+
+    let idx = WindowIndex::new(reads.iter().map(|r| r.len()), cfg.k);
+    let total = idx.total_windows();
+    let per_round = kmers_per_round::<HashMsg>(cfg) as u64;
+    let mut parsed = 0u64;
+    let mut received = 0u64;
+    let mut promoted = 0u64;
+    let mut recorded = 0u64;
+
+    let rounds = RoundExchange::run(
+        comm,
+        RoundPlan::for_records(total, per_round as usize),
+        |round| {
+            let lo = (round * per_round).min(total);
+            let hi = ((round + 1) * per_round).min(total);
+            let (bufs, n) =
+                pack_minimizer_windows(reads, &idx, lo, hi, p, w, cfg.extract_batch, exec);
+            parsed += n;
+            bufs
+        },
+        |_round, recv| {
+            for buf in recv {
+                for (word, rid, pos, strand) in decode_iter::<HashMsg>(&buf) {
+                    received += 1;
+                    let kmer = Kmer1::from_words([word], cfg.k as u16);
+                    debug_assert_eq!(kmer.owner(p), comm.rank(), "misrouted minimizer");
+                    let occ = Occurrence {
+                        read: rid,
+                        pos,
+                        strand: Strand::from_u8(strand as u8),
+                    };
+                    if table.record_or_insert(kmer, occ, cfg) {
+                        promoted += 1;
+                    }
+                    recorded += 1;
+                }
+            }
+        },
+    );
+    counters.kmers_parsed = parsed;
+    counters.kmers_received = received;
+    counters.promoted_keys = promoted;
+    counters.recorded_occurrences = recorded;
+    counters.rounds = rounds;
+
+    let filter = table.retain_reliable(cfg.max_multiplicity);
+    MinimizerOutput { table, filter, counters }
 }
 
 #[cfg(test)]
@@ -657,6 +809,135 @@ mod tests {
         for threads in [2usize, 4] {
             assert_eq!(run_for_identity(&reads, 3, &cfg, threads, false), baseline);
         }
+    }
+
+    /// Serial minimizer reference: canonical k-mer → occurrence list over
+    /// all reads, filtered to counts in `[2, m]`.
+    fn reference_minimizer_index(
+        reads: &ReadSet,
+        k: usize,
+        w: usize,
+        m: u32,
+    ) -> HashMap<Kmer1, Vec<Occurrence>> {
+        let mut all: HashMap<Kmer1, Vec<Occurrence>> = HashMap::new();
+        for r in reads {
+            for h in dibella_kmer::minimizers(&r.seq, k, w) {
+                all.entry(h.kmer).or_default().push(Occurrence {
+                    read: r.id,
+                    pos: h.pos,
+                    strand: h.strand,
+                });
+            }
+        }
+        all.retain(|_, occs| (2..=m as usize).contains(&occs.len()));
+        all
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_minimizer(
+        reads: &ReadSet,
+        p: usize,
+        w: usize,
+        cfg: &KcountConfig,
+        threads: usize,
+    ) -> Vec<(Vec<(Kmer1, Vec<Occurrence>)>, KmerStageCounters)> {
+        let (_, chunks) = partition_reads(reads, p);
+        CommWorld::run(p, |comm| {
+            let exec = BatchedExecutor::new(threads);
+            let out = minimizer_stage(comm, chunks[comm.rank()].reads(), w, cfg, &exec);
+            let mut entries: Vec<(Kmer1, Vec<Occurrence>)> = out
+                .table
+                .iter()
+                .map(|(k, e)| (*k, e.occurrences.clone()))
+                .collect();
+            entries.sort_unstable_by_key(|(k, _)| *k);
+            (entries, out.counters)
+        })
+    }
+
+    #[test]
+    fn minimizer_index_matches_serial_reference() {
+        let reads = make_reads(24, 120, 42);
+        let (k, w, m) = (9usize, 4usize, 20u32);
+        let cfg = test_cfg(k, m);
+        let reference = reference_minimizer_index(&reads, k, w, m);
+        assert!(!reference.is_empty(), "weak test: no shared minimizers");
+        for p in [1usize, 2, 4, 7] {
+            let parts = run_minimizer(&reads, p, w, &cfg, 1);
+            let mut merged: HashMap<Kmer1, Vec<Occurrence>> = HashMap::new();
+            for (entries, _) in &parts {
+                for (kmer, occs) in entries {
+                    assert!(
+                        merged.insert(*kmer, occs.clone()).is_none(),
+                        "key on two ranks"
+                    );
+                }
+            }
+            assert_eq!(merged.len(), reference.len(), "p={p}");
+            for (kmer, occs) in &merged {
+                let mut want = reference.get(kmer).cloned().unwrap_or_default();
+                let mut got = occs.clone();
+                let sort_key = |o: &Occurrence| (o.read, o.pos);
+                want.sort_unstable_by_key(sort_key);
+                got.sort_unstable_by_key(sort_key);
+                assert_eq!(got, want, "p={p} kmer={kmer}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimizer_stage_is_bit_identical_across_threads() {
+        // Tiny round cap (64 records) and extract batch (16) force many
+        // batch cuts through read interiors — selection context must
+        // make every cut invisible.
+        let reads = make_reads(24, 120, 314);
+        let cfg = test_cfg(9, 20);
+        let baseline = run_minimizer(&reads, 4, 5, &cfg, 1);
+        assert!(baseline.iter().all(|(_, c)| c.rounds > 1), "want multi-round");
+        for threads in [2usize, 4] {
+            assert_eq!(run_minimizer(&reads, 4, 5, &cfg, threads), baseline, "threads={threads}");
+        }
+        // A different round cap regroups arrivals (occurrence-list order
+        // is round-interleaved, as in the reliable path — downstream
+        // sorts seeds) but must select the exact same occurrence *sets*.
+        let mut wide = test_cfg(9, 20);
+        wide.max_kmers_per_round = 1 << 20;
+        let wide_run = run_minimizer(&reads, 4, 5, &wide, 4);
+        let strip = |v: &[(Vec<(Kmer1, Vec<Occurrence>)>, KmerStageCounters)]| {
+            v.iter()
+                .map(|(e, _)| {
+                    e.iter()
+                        .map(|(k, occs)| {
+                            let mut occs = occs.clone();
+                            occs.sort_unstable_by_key(|o| (o.read, o.pos));
+                            (*k, occs)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&wide_run), strip(&baseline));
+    }
+
+    #[test]
+    fn minimizer_stage_parses_fewer_kmers_than_windows() {
+        let reads = make_reads(16, 200, 8);
+        let cfg = test_cfg(11, 30);
+        let w = 8usize;
+        let parts = run_minimizer(&reads, 3, w, &cfg, 1);
+        let parsed: u64 = parts.iter().map(|(_, c)| c.kmers_parsed).sum();
+        let received: u64 = parts.iter().map(|(_, c)| c.kmers_received).sum();
+        let windows: u64 = reads.iter().map(|r| kmer_count(r.len(), 11) as u64).sum();
+        let serial: u64 = reads
+            .iter()
+            .map(|r| dibella_kmer::minimizers(&r.seq, 11, w).len() as u64)
+            .sum();
+        assert_eq!(parsed, serial, "distributed selection != serial selection");
+        assert_eq!(received, parsed, "minimizers lost in the exchange");
+        assert!(
+            (parsed as f64) < 0.4 * windows as f64,
+            "sketch too dense: {parsed} of {windows} windows"
+        );
     }
 
     #[test]

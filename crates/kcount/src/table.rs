@@ -135,6 +135,25 @@ impl KmerHashTable {
         }
     }
 
+    /// Record an occurrence, creating the key on first sighting. This is
+    /// the minimizer-pass rule: that pass has no Bloom pre-pass (the
+    /// sketch itself bounds the key set to ~`2/(w+1)` of all k-mer
+    /// instances), so every arriving record is welcome. Returns `true`
+    /// if the key was newly created. The occurrence list obeys the same
+    /// `m + 1` cap as [`Self::record_occurrence`].
+    pub fn record_or_insert(&mut self, kmer: Kmer1, occ: Occurrence, cfg: &KcountConfig) -> bool {
+        use std::collections::hash_map::Entry;
+        let (created, entry) = match self.map.entry(kmer) {
+            Entry::Occupied(e) => (false, e.into_mut()),
+            Entry::Vacant(v) => (true, v.insert(KmerEntry::default())),
+        };
+        entry.count += 1;
+        if entry.occurrences.len() <= cfg.max_multiplicity as usize {
+            entry.occurrences.push(occ);
+        }
+        created
+    }
+
     /// Final local filter: drop singletons (count < 2) and high-frequency
     /// keys (count > m). Survivors are the *retained* k-mers.
     pub fn retain_reliable(&mut self, max_multiplicity: u32) -> FilterStats {
@@ -242,6 +261,24 @@ mod tests {
         assert_eq!(stats.retained, 1);
         assert_eq!(t.len(), 1);
         assert!(t.contains(&km(b"CCCCC")));
+    }
+
+    #[test]
+    fn record_or_insert_creates_then_records() {
+        let mut t = KmerHashTable::with_capacity(4);
+        let c = cfg(3);
+        assert!(t.record_or_insert(km(b"ACGTA"), occ(0, 0), &c), "first sighting creates");
+        assert!(!t.record_or_insert(km(b"ACGTA"), occ(1, 5), &c), "second records in place");
+        let entry = t.iter().next().unwrap().1;
+        assert_eq!(entry.count, 2);
+        assert_eq!(entry.occurrences.len(), 2);
+        // The m + 1 cap applies here too.
+        for i in 0..100 {
+            t.record_or_insert(km(b"ACGTA"), occ(i, 0), &c);
+        }
+        let entry = t.iter().next().unwrap().1;
+        assert_eq!(entry.count, 102);
+        assert_eq!(entry.occurrences.len(), 4);
     }
 
     #[test]

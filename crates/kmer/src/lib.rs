@@ -21,9 +21,11 @@
 pub mod base;
 pub mod extract;
 pub mod hash;
+pub mod minimizer;
 pub mod packed;
 pub mod params;
 
 pub use extract::{extract_kmers, kmer_count, window_hits, KmerHit, KmerIter, WindowIndex};
+pub use minimizer::{minimizer_density, minimizer_window_hits, minimizers};
 pub use hash::{double_hash, kmer_hash_words, mix64};
 pub use packed::{Kmer, Kmer1, Kmer2, Strand};

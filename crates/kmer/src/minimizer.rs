@@ -1,0 +1,302 @@
+//! (w, k) minimizer selection over canonical k-mers.
+//!
+//! A *minimizer* (Roberts et al.; minimap/minimap2 in PAPERS.md) is the
+//! k-mer with the smallest hash among the `w` consecutive k-mer windows
+//! of a sequence; collecting the minimum of every window keeps roughly
+//! `2/(w+1)` of all k-mers while guaranteeing that any two sequences
+//! sharing a `w + k − 1` base stretch share a selected k-mer. Hashing
+//! uses the same invertible splitmix-style mix as the reliable-k-mer
+//! stages ([`crate::packed::Kmer::hash64`]) over the *canonical* form, so
+//! selection is strand-symmetric and a selected k-mer routes to the same
+//! owner rank as it would in the hash-table stage.
+//!
+//! The selection here is **position-local**: whether the k-mer at
+//! position `p` is a minimizer is decided by comparing its key against
+//! its `w − 1` neighbours on each side, which makes extraction
+//! decomposable over arbitrary cuts of the window index space — the same
+//! property [`crate::window_hits`] has for plain extraction, and the
+//! property the distributed stages rely on for bit-identical wire bytes
+//! at any thread count or exchange-round cap (each batch re-derives its
+//! piece with `w − 1` windows of context on each side; see
+//! [`minimizer_window_hits`]).
+//!
+//! Runs of clean k-mer positions shorter than `w` (reads barely longer
+//! than `k`, or stretches between ambiguous bases) degrade gracefully:
+//! the window width clamps to the run length, so every non-empty run
+//! contributes at least its minimum.
+
+use crate::extract::{window_hits, KmerHit};
+
+/// Expected fraction of k-mer windows selected as minimizers on random
+/// sequence: `2 / (w + 1)`.
+pub fn minimizer_density(w: usize) -> f64 {
+    2.0 / (w as f64 + 1.0)
+}
+
+/// Selection key of a k-mer hit: canonical hash, with the window
+/// position as a deterministic tie-break so keys are totally ordered
+/// even under hash collisions.
+#[inline]
+fn key(h: &KmerHit<1>) -> (u64, u32) {
+    (h.kmer.hash64(), h.pos)
+}
+
+/// All minimizer hits of `seq`, in window-position order.
+///
+/// Equivalent to `minimizer_window_hits(seq, k, w, 0, windows)` over the
+/// full window range; a k-mer is emitted once no matter how many of its
+/// covering w-windows it wins.
+///
+/// # Panics
+/// Panics if `w == 0` or `k` is out of range for a one-word k-mer.
+pub fn minimizers(seq: &[u8], k: usize, w: usize) -> Vec<KmerHit<1>> {
+    let windows = crate::extract::kmer_count(seq.len(), k);
+    minimizer_window_hits(seq, k, w, 0, windows)
+}
+
+/// Minimizer hits of `seq` whose window position falls in `[lo, hi)`.
+///
+/// This is the restriction of [`minimizers`] to a position range:
+/// extracting `[0, c)` and `[c, windows)` and concatenating yields
+/// exactly the full selection, for every cut `c`. Internally the range
+/// is widened by `w − 1` windows on each side, which is provably enough
+/// context: a position's minimizer status depends only on the nearest
+/// smaller key within `w − 1` positions on each side of it *within its
+/// run of consecutive clean positions*, and a run end further than
+/// `w − 1` positions away can never bind.
+///
+/// # Panics
+/// Panics if `w == 0` or `k` is out of range for a one-word k-mer.
+pub fn minimizer_window_hits(
+    seq: &[u8],
+    k: usize,
+    w: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<KmerHit<1>> {
+    assert!(w >= 1, "minimizer window w must be >= 1");
+    let ctx = w - 1;
+    let ext_lo = lo.saturating_sub(ctx);
+    let ext_hi = hi.saturating_add(ctx);
+    let hits: Vec<KmerHit<1>> = window_hits::<1>(seq, k, ext_lo, ext_hi).collect();
+
+    let mut out = Vec::new();
+    // Split the extracted hits into runs of consecutive window positions
+    // (ambiguous bases leave gaps) and select within each run.
+    let mut run_start = 0usize;
+    for i in 1..=hits.len() {
+        if i == hits.len() || hits[i].pos != hits[i - 1].pos + 1 {
+            select_in_run(&hits[run_start..i], w, lo, hi, &mut out);
+            run_start = i;
+        }
+    }
+    out
+}
+
+/// Emit the minimizers of one run of consecutive clean window positions,
+/// restricted to positions in `[lo, hi)`.
+///
+/// A position `p` (run-local index `j`, key `K_j`) is a minimizer iff
+/// some width-`w_eff` window inside the run has `K_j` as its smallest
+/// key, where `w_eff = min(w, run_len)` clamps the window to short runs.
+/// Because keys are distinct, that holds iff the window can be placed to
+/// exclude every neighbour with a smaller key: with `L` / `R` the
+/// nearest smaller-key indices within `w_eff − 1` to the left / right,
+/// the feasible window starts are
+/// `max(0, j − w_eff + 1, L + 1) ..= min(j, run_len − w_eff, R − w_eff)`.
+///
+/// The run slice may be truncated by the `w − 1` extension; the caller
+/// guarantees that for every `j` with position in `[lo, hi)`, either the
+/// slice shows `w − 1` positions on a side or the true run end on that
+/// side is in view — so the clamped terms above are exact either way.
+fn select_in_run(run: &[KmerHit<1>], w: usize, lo: usize, hi: usize, out: &mut Vec<KmerHit<1>>) {
+    let n = run.len();
+    if n == 0 {
+        return;
+    }
+    let w_eff = w.min(n) as i64;
+    let keys: Vec<(u64, u32)> = run.iter().map(key).collect();
+    let n_i = n as i64;
+    for j in 0..n {
+        let p = run[j].pos as usize;
+        if p < lo || p >= hi {
+            continue;
+        }
+        let j_i = j as i64;
+        let mut lo_q = (j_i - w_eff + 1).max(0);
+        let mut hi_q = j_i.min(n_i - w_eff);
+        // Nearest smaller key within w_eff − 1 on each side.
+        let scan_lo = (j_i - w_eff + 1).max(0) as usize;
+        for jj in (scan_lo..j).rev() {
+            if keys[jj] < keys[j] {
+                lo_q = lo_q.max(jj as i64 + 1);
+                break;
+            }
+        }
+        let scan_hi = ((j_i + w_eff - 1).min(n_i - 1)) as usize;
+        for jj in j + 1..=scan_hi {
+            if keys[jj] < keys[j] {
+                hi_q = hi_q.min(jj as i64 - w_eff);
+                break;
+            }
+        }
+        if lo_q <= hi_q {
+            out.push(run[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract_kmers, kmer_count};
+
+    /// Reference implementation: slide every width-`w_eff` window over
+    /// each run and collect the argmin of each, deduplicated.
+    fn reference_minimizers(seq: &[u8], k: usize, w: usize) -> Vec<KmerHit<1>> {
+        let hits = extract_kmers::<1>(seq, k);
+        let mut out = Vec::new();
+        let mut run_start = 0usize;
+        for i in 1..=hits.len() {
+            if i == hits.len() || hits[i].pos != hits[i - 1].pos + 1 {
+                let run = &hits[run_start..i];
+                let w_eff = w.min(run.len());
+                let mut selected = vec![false; run.len()];
+                for q in 0..=(run.len() - w_eff) {
+                    let win = &run[q..q + w_eff];
+                    let best = win
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, h)| key(h))
+                        .map(|(off, _)| q + off)
+                        .unwrap();
+                    selected[best] = true;
+                }
+                for (j, &s) in selected.iter().enumerate() {
+                    if s {
+                        out.push(run[j]);
+                    }
+                }
+                run_start = i;
+            }
+        }
+        out
+    }
+
+    fn test_seq(len: usize, seed: u64) -> Vec<u8> {
+        // Deterministic pseudo-random ACGT sequence.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sliding_window_reference() {
+        for seed in 0..4u64 {
+            let seq = test_seq(200, seed);
+            for k in [5usize, 11, 17] {
+                for w in [1usize, 2, 5, 8, 16] {
+                    assert_eq!(
+                        minimizers(&seq, k, w),
+                        reference_minimizers(&seq, k, w),
+                        "k={k} w={w} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handles_ambiguous_bases_and_short_runs() {
+        // Runs of every length from 0 (nothing) through > w, separated
+        // by N; short runs select exactly their run minimum.
+        let mut seq = Vec::new();
+        for (i, run_len) in [3usize, 7, 9, 20, 60].iter().enumerate() {
+            seq.extend(test_seq(*run_len, i as u64 + 10));
+            seq.push(b'N');
+        }
+        for k in [3usize, 7] {
+            for w in [2usize, 6, 12] {
+                assert_eq!(
+                    minimizers(&seq, k, w),
+                    reference_minimizers(&seq, k, w),
+                    "k={k} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_restriction_is_cut_invariant() {
+        // Concatenating the selection of [0, cut) and [cut, windows)
+        // reproduces the full selection at every cut — the property the
+        // distributed stage relies on for batch and round decomposition.
+        for (seed, with_n) in [(1u64, false), (2, true)] {
+            let mut seq = test_seq(120, seed);
+            if with_n {
+                seq[40] = b'N';
+                seq[41] = b'N';
+                seq[90] = b'N';
+            }
+            for k in [5usize, 9] {
+                for w in [3usize, 8] {
+                    let windows = kmer_count(seq.len(), k);
+                    let full = minimizers(&seq, k, w);
+                    for cut in 0..=windows {
+                        let mut glued = minimizer_window_hits(&seq, k, w, 0, cut);
+                        glued.extend(minimizer_window_hits(&seq, k, w, cut, windows));
+                        assert_eq!(glued, full, "k={k} w={w} cut={cut}");
+                    }
+                    // Three-way cuts, to cover pieces with context on
+                    // both sides.
+                    for cut in (0..=windows).step_by(7) {
+                        let c2 = (cut + 11).min(windows);
+                        let mut glued = minimizer_window_hits(&seq, k, w, 0, cut);
+                        glued.extend(minimizer_window_hits(&seq, k, w, cut, c2));
+                        glued.extend(minimizer_window_hits(&seq, k, w, c2, windows));
+                        assert_eq!(glued, full, "k={k} w={w} cuts={cut},{c2}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_strand_symmetric() {
+        // The canonical-hash key makes minimizer selection agree between
+        // a sequence and its reverse complement (positions mirror).
+        let seq = test_seq(150, 7);
+        let rc = crate::base::reverse_complement_ascii(&seq);
+        let (k, w) = (11usize, 8usize);
+        let mut fwd: Vec<_> = minimizers(&seq, k, w).into_iter().map(|h| h.kmer).collect();
+        let mut rev: Vec<_> = minimizers(&rc, k, w).into_iter().map(|h| h.kmer).collect();
+        fwd.sort();
+        rev.sort();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn density_is_near_expected() {
+        let seq = test_seq(20_000, 3);
+        let k = 17usize;
+        for w in [5usize, 8, 16] {
+            let windows = kmer_count(seq.len(), k) as f64;
+            let got = minimizers(&seq, k, w).len() as f64 / windows;
+            let want = minimizer_density(w);
+            assert!(
+                (got - want).abs() < 0.25 * want,
+                "w={w}: density {got:.4}, expected ~{want:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn w1_selects_every_kmer() {
+        let seq = test_seq(64, 9);
+        assert_eq!(minimizers(&seq, 7, 1), extract_kmers::<1>(&seq, 7));
+    }
+}

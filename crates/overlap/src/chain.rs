@@ -1,0 +1,192 @@
+//! Colinear chaining of shared seeds (minimap-style anchor chains).
+//!
+//! Minimizer hits are sparser than reliable-k-mer hits but also noisier:
+//! two reads can share an isolated selected k-mer without any genomic
+//! overlap (a repeat fragment, an error coincidence). Chaining keeps, per
+//! candidate pair, the largest subset of seeds consistent with *one*
+//! relative placement of the two reads — seed positions strictly
+//! increasing in both reads for a same-strand overlap, increasing in A
+//! and decreasing in B for an opposite-strand one — and drops the pair
+//! entirely when even the best chain is too short to be trusted. The
+//! surviving chain replaces the pair's seed list before the
+//! [`crate::SeedPolicy`] runs, so the alignment stage downstream is
+//! untouched.
+//!
+//! The LIS-style O(n²) dynamic program is deterministic: ties prefer the
+//! earliest predecessor and the earliest chain end (in the sorted seed
+//! order), and a forward chain beats a reverse chain of equal length.
+
+use crate::task::SharedSeed;
+
+/// Chain-filter configuration (`OverlapConfig::chain`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Minimum seeds the best chain must contain; a pair whose best
+    /// chain is shorter is dropped before task construction.
+    pub min_chain_seeds: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        Self { min_chain_seeds: 2 }
+    }
+}
+
+/// Reduce `seeds` — sorted ascending and deduplicated — to the best
+/// colinear chain, in place. Returns `false` (leaving `seeds` in an
+/// unspecified state) when the best chain is shorter than
+/// `cfg.min_chain_seeds`: the caller drops the pair.
+pub fn chain_seeds(seeds: &mut Vec<SharedSeed>, cfg: &ChainConfig) -> bool {
+    debug_assert!(
+        seeds.windows(2).all(|w| w[0] < w[1]),
+        "chain_seeds requires sorted, deduplicated seeds"
+    );
+    let fwd = best_chain(seeds, false);
+    let rev = best_chain(seeds, true);
+    // Longer chain wins; a tie keeps the forward interpretation.
+    let best = if rev.len() > fwd.len() { rev } else { fwd };
+    if best.len() < cfg.min_chain_seeds {
+        return false;
+    }
+    *seeds = best;
+    true
+}
+
+/// Best (longest, earliest on ties) strictly-monotone chain among the
+/// seeds of one orientation. Returned in ascending `a_pos` order.
+fn best_chain(seeds: &[SharedSeed], reverse: bool) -> Vec<SharedSeed> {
+    let subset: Vec<SharedSeed> =
+        seeds.iter().copied().filter(|s| s.reverse == reverse).collect();
+    let n = subset.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut len = vec![1u32; n];
+    let mut pred = vec![usize::MAX; n];
+    for i in 1..n {
+        for j in 0..i {
+            let colinear = subset[j].a_pos < subset[i].a_pos
+                && if reverse {
+                    subset[j].b_pos > subset[i].b_pos
+                } else {
+                    subset[j].b_pos < subset[i].b_pos
+                };
+            // Strict improvement only → the earliest maximal predecessor.
+            if colinear && len[j] + 1 > len[i] {
+                len[i] = len[j] + 1;
+                pred[i] = j;
+            }
+        }
+    }
+    let mut best = 0usize;
+    for (i, &l) in len.iter().enumerate() {
+        if l > len[best] {
+            best = i;
+        }
+    }
+    let mut chain = Vec::with_capacity(len[best] as usize);
+    let mut i = best;
+    loop {
+        chain.push(subset[i]);
+        if pred[i] == usize::MAX {
+            break;
+        }
+        i = pred[i];
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(a: u32, b: u32, rev: bool) -> SharedSeed {
+        SharedSeed { a_pos: a, b_pos: b, reverse: rev }
+    }
+
+    fn chained(mut seeds: Vec<SharedSeed>, min: usize) -> Option<Vec<SharedSeed>> {
+        seeds.sort_unstable();
+        seeds.dedup();
+        chain_seeds(&mut seeds, &ChainConfig { min_chain_seeds: min }).then_some(seeds)
+    }
+
+    #[test]
+    fn colinear_forward_seeds_all_survive() {
+        let seeds = vec![seed(10, 110, false), seed(40, 140, false), seed(90, 190, false)];
+        assert_eq!(chained(seeds.clone(), 2), Some(seeds));
+    }
+
+    #[test]
+    fn off_diagonal_seed_is_pruned() {
+        // The (50, 20) anchor contradicts the +100 diagonal the other
+        // three agree on — the chain excludes it.
+        let seeds =
+            vec![seed(10, 110, false), seed(40, 140, false), seed(50, 20, false), seed(90, 190, false)];
+        let want = vec![seed(10, 110, false), seed(40, 140, false), seed(90, 190, false)];
+        assert_eq!(chained(seeds, 2), Some(want));
+    }
+
+    #[test]
+    fn reverse_orientation_chains_on_antidiagonal() {
+        // Opposite-strand overlap: A ascending while B descends.
+        let seeds = vec![seed(10, 190, true), seed(40, 160, true), seed(90, 110, true)];
+        assert_eq!(chained(seeds.clone(), 3), Some(seeds));
+        // Ascending b_pos is NOT a valid reverse chain: only one survives
+        // and a min of 2 drops the pair.
+        let bad = vec![seed(10, 110, true), seed(40, 140, true)];
+        assert_eq!(chained(bad, 2), None);
+    }
+
+    #[test]
+    fn orientations_compete_and_majority_wins() {
+        let seeds = vec![
+            seed(10, 110, false),
+            seed(40, 140, false),
+            seed(90, 190, false),
+            seed(20, 180, true),
+            seed(60, 120, true),
+        ];
+        let want = vec![seed(10, 110, false), seed(40, 140, false), seed(90, 190, false)];
+        assert_eq!(chained(seeds, 2), Some(want));
+    }
+
+    #[test]
+    fn equal_length_tie_keeps_forward() {
+        let seeds = vec![seed(10, 110, false), seed(40, 140, false), seed(20, 180, true), seed(60, 120, true)];
+        let got = chained(seeds, 2).unwrap();
+        assert!(got.iter().all(|s| !s.reverse));
+    }
+
+    #[test]
+    fn short_chain_drops_pair() {
+        assert_eq!(chained(vec![seed(10, 110, false)], 2), None);
+        // But survives a min of 1.
+        assert_eq!(chained(vec![seed(10, 110, false)], 1), Some(vec![seed(10, 110, false)]));
+        // Empty input never chains.
+        assert_eq!(chained(vec![], 1), None);
+    }
+
+    #[test]
+    fn equal_a_pos_seeds_cannot_co_chain() {
+        // Strict monotonicity in a_pos: two seeds at the same A offset
+        // are alternatives, not chain links.
+        let seeds = vec![seed(10, 110, false), seed(10, 140, false)];
+        let got = chained(seeds, 1).unwrap();
+        assert_eq!(got.len(), 1);
+        // Earliest end on ties → the smaller b_pos survives.
+        assert_eq!(got[0], seed(10, 110, false));
+    }
+
+    #[test]
+    fn chain_output_is_sorted_for_the_policy() {
+        let seeds = vec![
+            seed(90, 190, false),
+            seed(10, 110, false),
+            seed(50, 20, false),
+            seed(40, 140, false),
+        ];
+        let got = chained(seeds, 2).unwrap();
+        assert!(got.windows(2).all(|w| w[0].a_pos < w[1].a_pos));
+    }
+}

@@ -6,13 +6,17 @@
 //! of one of its reads via the odd/even heuristic, exchange tasks with a
 //! single irregular all-to-all, consolidate per-pair seed lists, and
 //! filter seeds by the run's exploration policy (one seed / min-distance).
+//! Under the minimizer seed mode an optional colinear chain filter
+//! ([`chain`]) runs between consolidation and the policy.
 
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod policy;
 pub mod stage;
 pub mod task;
 
+pub use chain::{chain_seeds, ChainConfig};
 pub use policy::SeedPolicy;
 pub use stage::{
     overlap_stage, overlap_stage_with_lengths, reference_pairs, OverlapConfig, OverlapCounters,

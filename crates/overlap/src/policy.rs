@@ -132,6 +132,59 @@ mod tests {
     }
 
     #[test]
+    fn empty_seed_list_is_a_no_op() {
+        for policy in [SeedPolicy::Single, SeedPolicy::MinDistance(1000)] {
+            let mut seeds: Vec<SharedSeed> = Vec::new();
+            assert_eq!(policy.apply(&mut seeds, 4), 0);
+            assert!(seeds.is_empty());
+        }
+    }
+
+    #[test]
+    fn cap_interacts_with_orientation_runs() {
+        // Alternating orientations: every flip resets the spacing rule,
+        // so all seeds are spacing-eligible and the cap alone truncates.
+        let mut seeds: Vec<SharedSeed> = (0..10).map(|i| seed(i, i % 2 == 1)).collect();
+        let dropped = SeedPolicy::MinDistance(1000).apply(&mut seeds, 4);
+        assert_eq!(dropped, 6);
+        assert_eq!(
+            seeds.iter().map(|s| (s.a_pos, s.reverse)).collect::<Vec<_>>(),
+            vec![(0, false), (1, true), (2, false), (3, true)],
+            "cap must keep the first four in a_pos order, orientations intact"
+        );
+    }
+
+    #[test]
+    fn cap_applies_after_spacing_within_a_run() {
+        // Same-orientation seeds at half the spacing distance: the
+        // spacing rule halves them first, then the cap truncates the
+        // survivors — so the kept set is the first `max` *spaced* seeds,
+        // not the first `max` raw seeds.
+        let mut seeds: Vec<SharedSeed> = (0..20).map(|i| seed(i * 500, false)).collect();
+        let dropped = SeedPolicy::MinDistance(1000).apply(&mut seeds, 3);
+        assert_eq!(
+            seeds.iter().map(|s| s.a_pos).collect::<Vec<_>>(),
+            vec![0, 1000, 2000]
+        );
+        assert_eq!(dropped, 17);
+    }
+
+    #[test]
+    fn zero_cap_drops_everything_under_min_distance() {
+        let mut seeds = vec![seed(0, false), seed(5000, true)];
+        assert_eq!(SeedPolicy::MinDistance(1000).apply(&mut seeds, 0), 2);
+        assert!(seeds.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "seeds.windows")]
+    fn unsorted_input_is_rejected_in_debug() {
+        let mut seeds = vec![seed(10, false), seed(0, false)];
+        SeedPolicy::MinDistance(5).apply(&mut seeds, 4);
+    }
+
+    #[test]
     fn paper_settings_cover_three_points() {
         let s = SeedPolicy::paper_settings(17);
         assert_eq!(s[0].1, SeedPolicy::Single);

@@ -19,6 +19,7 @@
 //! count (and downstream sort/dedup makes the *output* independent even
 //! of the table's iteration order).
 
+use crate::chain::{chain_seeds, ChainConfig};
 use crate::policy::SeedPolicy;
 use crate::task::{OverlapTask, ReadPair, SharedSeed, TaskPlacement};
 use dibella_comm::{
@@ -49,6 +50,11 @@ pub struct OverlapConfig {
     /// function of the input — never of the thread count — so any value
     /// is deterministic; tests shrink it to force many batches.
     pub pair_batch: usize,
+    /// Colinear chain filter applied between consolidation and the seed
+    /// policy (`None` = off). The minimizer seed mode turns it on: sparse
+    /// sketch hits need a consistency check that dense reliable k-mers
+    /// get for free from their sheer count.
+    pub chain: Option<ChainConfig>,
 }
 
 impl OverlapConfig {
@@ -64,6 +70,7 @@ impl Default for OverlapConfig {
             placement: TaskPlacement::Parity,
             max_exchange_bytes_per_round: usize::MAX,
             pair_batch: Self::DEFAULT_PAIR_BATCH,
+            chain: None,
         }
     }
 }
@@ -160,8 +167,13 @@ pub struct OverlapCounters {
     pub pairs_consolidated: u64,
     /// Seeds kept after policy filtering.
     pub seeds_kept: u64,
-    /// Seeds dropped by the policy.
+    /// Seeds dropped by the policy (and, when chaining is on, by the
+    /// chain filter — off-chain seeds of kept pairs and all seeds of
+    /// dropped pairs).
     pub seeds_dropped: u64,
+    /// Pairs dropped because their best colinear chain was below
+    /// `ChainConfig::min_chain_seeds` (0 when chaining is off).
+    pub pairs_chain_dropped: u64,
     /// Bulk-synchronous exchange rounds executed (equals the stage's
     /// `alltoallv` call count; 1 unless a round cap forces streaming).
     pub rounds: u64,
@@ -281,17 +293,26 @@ pub fn overlap_stage_with_lengths(
     counters.tasks_received = received;
     counters.rounds = rounds;
 
-    // ---- filter seeds, emit deterministic task list -------------------------
+    // ---- chain, filter seeds, emit deterministic task list ------------------
     let mut tasks: Vec<OverlapTask> = pairs
         .into_iter()
-        .map(|(pair, mut seeds)| {
+        .filter_map(|(pair, mut seeds)| {
             seeds.sort_unstable();
             seeds.dedup();
+            if let Some(chain_cfg) = &cfg.chain {
+                let before = seeds.len() as u64;
+                if !chain_seeds(&mut seeds, chain_cfg) {
+                    counters.pairs_chain_dropped += 1;
+                    counters.seeds_dropped += before;
+                    return None;
+                }
+                counters.seeds_dropped += before - seeds.len() as u64;
+            }
             counters.pairs_consolidated += 1;
             let dropped = cfg.policy.apply(&mut seeds, cfg.max_seeds_per_pair);
             counters.seeds_dropped += dropped as u64;
             counters.seeds_kept += seeds.len() as u64;
-            OverlapTask { pair, seeds }
+            Some(OverlapTask { pair, seeds })
         })
         .collect();
     tasks.sort_unstable_by_key(|t| t.pair);
@@ -541,6 +562,47 @@ mod tests {
             .find(|t| t.pair == ReadPair::new(0, 1))
             .expect("rc pair not found");
         assert!(t.seeds.iter().all(|s| s.reverse), "strand flags wrong");
+    }
+
+    #[test]
+    fn chain_filter_prunes_seeds_but_keeps_true_pairs() {
+        let reads = overlapping_reads(8, 60, 20);
+        let kc = kc_cfg(9, 16);
+        let base = OverlapConfig {
+            policy: SeedPolicy::MinDistance(9),
+            max_seeds_per_pair: 64,
+            ..Default::default()
+        };
+        let plain = run_pipeline_to_overlap(&reads, 3, &kc, &base);
+        // min_chain_seeds = 1 never drops a pair — it only reduces each
+        // seed list to its best colinear chain.
+        let chained_cfg = OverlapConfig { chain: Some(ChainConfig { min_chain_seeds: 1 }), ..base };
+        let chained = run_pipeline_to_overlap(&reads, 3, &kc, &chained_cfg);
+        let pairs = |ts: &[OverlapTask]| ts.iter().map(|t| t.pair).collect::<Vec<_>>();
+        assert_eq!(pairs(&plain), pairs(&chained));
+        let total = |ts: &[OverlapTask]| ts.iter().map(|t| t.seeds.len()).sum::<usize>();
+        assert!(total(&chained) <= total(&plain));
+        assert!(chained.iter().all(|t| !t.seeds.is_empty()));
+        // Chain output stays sorted for the policy's contract.
+        for t in &chained {
+            assert!(t.seeds.windows(2).all(|w| w[0].a_pos <= w[1].a_pos));
+        }
+        // An unsatisfiable chain requirement drops every pair — counted,
+        // and nothing reaches the task list.
+        let strict = OverlapConfig { chain: Some(ChainConfig { min_chain_seeds: 1000 }), ..base };
+        let (part, chunks) = partition_reads(&reads, 3);
+        let outs = CommWorld::run(3, |comm| {
+            let exec = BatchedExecutor::sequential();
+            let local = chunks[comm.rank()].reads();
+            let bloom = bloom_stage(comm, local, &kc, &exec);
+            let mut table = bloom.table;
+            let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+            overlap_stage(comm, &table, &part, &strict, &exec)
+        });
+        let dropped: u64 = outs.iter().map(|o| o.counters.pairs_chain_dropped).sum();
+        assert!(dropped > 0);
+        assert!(outs.iter().all(|o| o.tasks.is_empty()));
+        assert!(outs.iter().all(|o| o.counters.seeds_kept == 0));
     }
 
     #[test]

@@ -42,6 +42,7 @@ USAGE:
   dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--threads N]
                   [--transport shared|sim:<platform>[:<ranks_per_node>]]
                   [--round-mb MB] [--policy one|1000|k] [-e ERR] [-d DEPTH]
+                  [--seed-mode reliable|minimizer] [--minimizer-w W]
                   [-x XDROP] [--min-score S] [--simd scalar|auto]
                   [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
@@ -146,6 +147,13 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         None => None,
         Some(v) => Some(v.parse()?),
     };
+    // Seed front end: the paper's two-pass reliable-k-mer counter, or the
+    // single-pass (w,k) minimizer sketch. Unset defers to DIBELLA_SEED_MODE.
+    let seed_mode: SeedMode = match flags.named.get("seed-mode") {
+        None => PipelineConfig::env_seed_mode(),
+        Some(v) => v.parse()?,
+    };
+    let minimizer_w: usize = flags.get("minimizer-w", 7)?;
 
     let cfg = PipelineConfig {
         k,
@@ -158,6 +166,8 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         transport,
         max_exchange_bytes_per_round: round_bytes,
         simd,
+        seed_mode,
+        minimizer_w,
         ..Default::default()
     };
     let round_cap = if round_bytes == usize::MAX {
@@ -166,7 +176,7 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         format!("{:.2} MiB", round_bytes as f64 / (1 << 20) as f64)
     };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, {ranks} ranks x {} thread(s), transport {}, round cap {round_cap}",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, seeds {seed_mode}, {ranks} ranks x {} thread(s), transport {}, round cap {round_cap}",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
         cfg.multiplicity_threshold(),

@@ -1,0 +1,139 @@
+//! Seed front-end comparison: the minimizer sketch must buy its wire-byte
+//! saving without giving up the overlaps the pipeline exists to find.
+//!
+//! On the committed sampled E. coli 30× workload (the same one
+//! `BENCH_pipeline.json` records), the sketch must ship at least 4× fewer
+//! seed-stage bytes (bloom + hash) than the two-pass reliable front end
+//! while recovering at least 95% of the ground-truth overlap pairs the
+//! reliable mode finds. A second test sweeps the determinism matrix —
+//! threads × transports × round caps — in minimizer mode.
+
+use dibella::datagen::ecoli_30x_sample_like;
+use dibella::prelude::*;
+use std::collections::BTreeSet;
+
+const RANKS: usize = 4;
+
+/// Distinct aligned pairs of a run.
+fn found_pairs(res: &dibella::pipeline::PipelineResult) -> BTreeSet<(ReadId, ReadId)> {
+    res.alignments.iter().map(|a| (a.pair.a, a.pair.b)).collect()
+}
+
+/// Seed-stage (bloom + hash) wire bytes of a run.
+fn seed_bytes(res: &dibella::pipeline::PipelineResult) -> u64 {
+    res.reports
+        .iter()
+        .map(|r| r.bloom_comm.total_bytes() + r.hash_comm.total_bytes())
+        .sum()
+}
+
+/// The bench harness's sample-workload configuration (`config_for` with
+/// the default environment), pinned here so the test is deterministic.
+fn sample_cfg(seed_mode: SeedMode) -> PipelineConfig {
+    PipelineConfig {
+        k: 17,
+        depth: 30.0,
+        error_rate: 0.15,
+        seed_policy: SeedPolicy::Single,
+        max_seeds_per_pair: 4,
+        seed_mode,
+        ..Default::default()
+    }
+}
+
+/// The headline trade: ≥ 4× fewer seed-stage bytes, ≥ 95% of the
+/// ground-truth pairs the reliable mode finds.
+#[test]
+fn minimizer_mode_keeps_recall_while_cutting_seed_bytes() {
+    let ds = ecoli_30x_sample_like(0.01, 42);
+    let truth: BTreeSet<(ReadId, ReadId)> = ds.true_overlaps(2_000).into_iter().collect();
+    assert!(!truth.is_empty(), "sample workload must have ground-truth overlaps");
+
+    let reliable = run_pipeline(&ds.reads, RANKS, &sample_cfg(SeedMode::Reliable));
+    let minimizer = run_pipeline(&ds.reads, RANKS, &sample_cfg(SeedMode::Minimizer));
+
+    // Byte ratio: reliable ships a bloom pass (8 B/k-mer) plus a hash pass
+    // (20 B/k-mer); the sketch ships one hash-record pass over ~2/(w+1) of
+    // the windows.
+    let (rb, mb) = (seed_bytes(&reliable), seed_bytes(&minimizer));
+    let ratio = rb as f64 / mb as f64;
+    eprintln!("seed-stage bytes: reliable {rb}, minimizer {mb}, ratio {ratio:.2}x");
+    assert!(ratio >= 4.0, "sketch must ship >= 4x fewer seed bytes, got {ratio:.2}x");
+
+    // Recall against the pairs the reliable mode finds that are real
+    // overlaps (>= 2 kb of true genome intersection).
+    let target: BTreeSet<_> = found_pairs(&reliable).intersection(&truth).copied().collect();
+    assert!(!target.is_empty(), "reliable mode must find ground-truth pairs");
+    let kept = found_pairs(&minimizer).intersection(&target).count();
+    let recall = kept as f64 / target.len() as f64;
+    eprintln!(
+        "recall: minimizer recovers {kept}/{} reliable-found true pairs ({:.1}%)",
+        target.len(),
+        recall * 100.0
+    );
+    assert!(recall >= 0.95, "minimizer recall {recall:.3} below 0.95");
+}
+
+/// Minimizer-mode determinism matrix: merged alignment records are
+/// bit-identical across threads {1, 2, 4} × transports {shared,
+/// sim:cori:2} × round caps {unbounded, 4 KiB}, and per-rank counters
+/// match the sequential run within each (transport, cap) cell.
+#[test]
+fn minimizer_mode_bit_identical_across_threads_transports_and_caps() {
+    // Overlapping error-free reads off one deterministic genome (the
+    // stage_threads dataset shape).
+    let mut state = 0x5EED_0D1Bu64 | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let genome: Vec<u8> = (0..(24 * 60 + 200)).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+    let reads: ReadSet = (0..24u32)
+        .map(|i| Read::new(i, format!("r{i}"), genome[i as usize * 60..][..200].to_vec()))
+        .collect();
+    let cfg = |threads: usize, transport: TransportKind, cap: usize| PipelineConfig {
+        k: 11,
+        seed_policy: SeedPolicy::MinDistance(11),
+        max_seeds_per_pair: 32,
+        max_multiplicity: Some(24),
+        seed_mode: SeedMode::Minimizer,
+        minimizer_w: 5,
+        threads: Some(threads),
+        transport,
+        max_exchange_bytes_per_round: cap,
+        ..Default::default()
+    };
+
+    let ranks = 4;
+    let global = run_pipeline(&reads, ranks, &cfg(1, TransportKind::SharedMem, usize::MAX));
+    assert!(!global.alignments.is_empty(), "workload must exercise all stages");
+    for transport in [TransportKind::SharedMem, "sim:cori:2".parse().expect("transport spec")] {
+        for cap in [usize::MAX, 4096] {
+            let baseline = run_pipeline(&reads, ranks, &cfg(1, transport, cap));
+            assert_eq!(
+                baseline.alignments, global.alignments,
+                "records diverge across transport={transport} cap={cap}"
+            );
+            for threads in [2usize, 4] {
+                let run = run_pipeline(&reads, ranks, &cfg(threads, transport, cap));
+                let at = format!("threads={threads} transport={transport} cap={cap}");
+                assert_eq!(run.alignments, baseline.alignments, "records diverge at {at}");
+                for (par, seq) in run.reports.iter().zip(&baseline.reports) {
+                    let rank = par.rank;
+                    assert_eq!(par.hash, seq.hash, "rank {rank} sketch counters, {at}");
+                    assert_eq!(par.table_keys, seq.table_keys, "rank {rank} table keys, {at}");
+                    assert_eq!(par.filter, seq.filter, "rank {rank} filter stats, {at}");
+                    assert_eq!(par.overlap, seq.overlap, "rank {rank} overlap counters, {at}");
+                    assert_eq!(par.align, seq.align, "rank {rank} align counters, {at}");
+                    assert_eq!(
+                        par.hash_comm.total_bytes(),
+                        seq.hash_comm.total_bytes(),
+                        "rank {rank} sketch bytes, {at}"
+                    );
+                }
+            }
+        }
+    }
+}

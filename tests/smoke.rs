@@ -7,7 +7,9 @@
 //! streaming-exchange rounds, and `DIBELLA_THREADS` sets the intra-rank
 //! thread count of every stage, so CI smokes the real and simulated
 //! transports, the multi-round exchange path *and* the threaded stage
-//! executor with the same assertions.
+//! executor with the same assertions. `DIBELLA_SEED_MODE`
+//! (`reliable` | `minimizer`) selects the seed front end, so the same
+//! smoke also covers the minimizer sketch path.
 
 use dibella::prelude::*;
 use std::time::Instant;
@@ -55,6 +57,7 @@ fn two_rank_pipeline_smoke() {
         transport,
         max_exchange_bytes_per_round: round_bytes,
         threads: Some(PipelineConfig::env_threads()),
+        seed_mode: PipelineConfig::env_seed_mode(),
         ..Default::default()
     };
     let res = run_pipeline(&reads, 2, &cfg);

@@ -90,7 +90,12 @@ fn seed_bytes(reports: &[RankReport]) -> u64 {
         .sum()
 }
 
-/// Render one mode's `{ "stages": ..., "pipeline": ... }` object.
+/// Render one mode's `{ "stages": ..., "pipeline": ..., "faults": ... }`
+/// object. The `faults` block (schema `/4`) sums the hardened-exchange
+/// robustness counters across ranks and stages; on the clean benchmark
+/// transport every field is zero — a nonzero value here means the
+/// baseline was recorded over a fault-injecting transport and must not
+/// be committed.
 fn mode_json(res: &PipelineResult, elapsed_s: f64, input_bases: u64) -> String {
     let rows = stage_rows(&res.reports);
     let per_base = |bytes: u64| bytes as f64 / input_bases as f64;
@@ -112,13 +117,22 @@ fn mode_json(res: &PipelineResult, elapsed_s: f64, input_bases: u64) -> String {
         })
         .collect();
     let bytes_total: u64 = rows.iter().map(|r| r.bytes_total).sum();
+    let mut faults = dibella_comm::CommStats::new(res.reports.len().max(1));
+    for r in &res.reports {
+        faults.merge(&r.total_comm());
+    }
     format!(
-        "{{\n      \"stages\": {{\n{}\n      }},\n      \"pipeline\": {{ \"wall_s\": {elapsed_s:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {}, \"pairs\": {}, \"bytes_total\": {bytes_total}, \"bytes_per_input_base\": {:.6} }}\n    }}",
+        "{{\n      \"stages\": {{\n{}\n      }},\n      \"pipeline\": {{ \"wall_s\": {elapsed_s:.6}, \"slowest_rank_wall_s\": {:.6}, \"alignments_computed\": {}, \"pairs\": {}, \"bytes_total\": {bytes_total}, \"bytes_per_input_base\": {:.6} }},\n      \"faults\": {{ \"frames_corrupt_detected\": {}, \"frames_retransmitted\": {}, \"duplicates_dropped\": {}, \"wait_timeouts\": {}, \"retry_wall_s\": {:.6} }}\n    }}",
         stages.join(",\n"),
         res.wall().as_secs_f64(),
         res.n_alignments_computed(),
         res.n_pairs(),
         per_base(bytes_total),
+        faults.frames_corrupt_detected,
+        faults.frames_retransmitted,
+        faults.duplicates_dropped,
+        faults.wait_timeouts,
+        faults.retry_wall.as_secs_f64(),
     )
 }
 
@@ -152,7 +166,7 @@ fn main() {
         base_cfg.max_exchange_bytes_per_round.to_string()
     };
     let json = format!(
-        "{{\n  \"schema\": \"dibella-pipeline-baseline/3\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {input_bases},\n  \"ranks\": {RANKS},\n  \"threads\": {},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"seed_bytes_ratio\": {seed_bytes_ratio:.3},\n  \"modes\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"dibella-pipeline-baseline/4\",\n  \"workload\": \"{}\",\n  \"reads\": {},\n  \"bases\": {input_bases},\n  \"ranks\": {RANKS},\n  \"threads\": {},\n  \"transport\": \"{}\",\n  \"round_cap_bytes\": {round_cap},\n  \"seed_bytes_ratio\": {seed_bytes_ratio:.3},\n  \"modes\": {{\n{}\n  }}\n}}\n",
         workload.name(),
         ds.reads.len(),
         base_cfg.effective_threads(),

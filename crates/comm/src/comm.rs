@@ -6,11 +6,37 @@
 //! must be called by **all** ranks of the world in the same order — the
 //! usual MPI contract; violations panic via the hub's slot checks.
 
+use crate::frame::{decode_frame, encode_frame, FrameError};
 use crate::stats::CommStats;
-use crate::transport::{Collective, InFlight, Transport};
-use std::cell::RefCell;
+use crate::transport::{Collective, InFlight, RetryPolicy, Transport};
+use std::cell::{Cell, RefCell};
+use std::panic::resume_unwind;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Handle to an irregular byte exchange started with
+/// [`Comm::exchange_start`] and finished with [`Comm::exchange_wait`] /
+/// [`Comm::exchange_wait_overlapped`].
+///
+/// On a reliable transport this is a thin wrapper over the backend's
+/// [`InFlight`]. When the transport advertises a
+/// [`RetryPolicy`], the handle additionally
+/// carries the framed send buffers and the round's sequence number so a
+/// damaged round can be retransmitted verbatim — round packing is
+/// idempotent, so replaying the exact frames is always safe.
+pub struct PendingExchange {
+    inflight: InFlight,
+    resend: Option<ResendState>,
+}
+
+/// Retransmission state of a hardened in-flight round.
+struct ResendState {
+    /// The framed per-destination buffers, kept until the round is
+    /// acknowledged clean by every rank.
+    frames: Vec<Vec<u8>>,
+    /// Sequence number stamped into each frame.
+    seq: u64,
+}
 
 /// Communicator handle owned by one rank's thread.
 ///
@@ -23,16 +49,26 @@ pub struct Comm {
     size: usize,
     transport: Arc<dyn Transport>,
     stats: RefCell<CommStats>,
+    /// Recovery policy cached from [`Transport::retry_policy`]; `Some`
+    /// switches the byte-exchange path to framed + retried.
+    retry: Option<RetryPolicy>,
+    /// Sequence number of the next hardened exchange. Every rank issues
+    /// the same collectives in the same order (the SPMD contract), so
+    /// sender and receiver counters agree without negotiation.
+    seq: Cell<u64>,
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, transport: Arc<dyn Transport>) -> Self {
         let size = transport.size();
+        let retry = transport.retry_policy();
         Self {
             rank,
             size,
             transport,
             stats: RefCell::new(CommStats::new(size)),
+            retry,
+            seq: Cell::new(0),
         }
     }
 
@@ -132,12 +168,29 @@ impl Comm {
     ///
     /// # Panics
     /// Panics if `send.len() != size()`.
-    pub fn exchange_start(&self, send: Vec<Vec<u8>>) -> InFlight {
+    pub fn exchange_start(&self, send: Vec<Vec<u8>>) -> PendingExchange {
         assert_eq!(send.len(), self.size, "exchange needs one buffer per rank");
+        // Traffic accounting is the *logical* payload, recorded once per
+        // round: frame headers and retransmits ride the recovery path and
+        // never distort `dest_bytes`, `peak_round_bytes` or
+        // `alltoallv_calls` — the figures the projections and the
+        // wire-ratio invariants are built on.
         self.stats
             .borrow_mut()
             .record_exchange(send.iter().map(Vec::len));
-        self.transport.exchange_start(self.rank, send)
+        if self.retry.is_none() {
+            return PendingExchange {
+                inflight: self.transport.exchange_start(self.rank, send),
+                resend: None,
+            };
+        }
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
+        let frames: Vec<Vec<u8>> = send.iter().map(|b| encode_frame(seq, b)).collect();
+        PendingExchange {
+            inflight: self.transport.exchange_start(self.rank, frames.clone()),
+            resend: Some(ResendState { frames, seq }),
+        }
     }
 
     /// Credit `d` of send-buffer packing time to this stage's counters
@@ -151,7 +204,7 @@ impl Comm {
 
     /// Finish an exchange begun by [`Self::exchange_start`], charging the
     /// backend's wall time with no declared overlap.
-    pub fn exchange_wait(&self, pending: InFlight) -> Vec<Vec<u8>> {
+    pub fn exchange_wait(&self, pending: PendingExchange) -> Vec<Vec<u8>> {
         self.exchange_wait_overlapped(pending, Duration::ZERO)
     }
 
@@ -161,14 +214,136 @@ impl Comm {
     /// their measured wall already ran concurrently — while simulated ones
     /// charge `max(overlapped, modeled)` per round so projections stay
     /// honest about what overlap can and cannot hide.
+    ///
+    /// On a hardened transport (one advertising a
+    /// [`RetryPolicy`]) this is where recovery
+    /// happens: received frames are validated against the round's
+    /// sequence number, all ranks agree whether the round arrived clean,
+    /// and a damaged round is retransmitted verbatim under exponential
+    /// backoff. A rank that exhausts its retries (or times out waiting on
+    /// a hung exchange) panics, failing the stage cleanly so a
+    /// checkpointed run can resume from the last completed stage.
     pub fn exchange_wait_overlapped(
         &self,
-        pending: InFlight,
+        pending: PendingExchange,
         overlapped: Duration,
     ) -> Vec<Vec<u8>> {
-        let (recv, wall) = self.transport.exchange_wait(self.rank, pending, overlapped);
-        self.stats.borrow_mut().exchange_wall += wall;
-        recv
+        let PendingExchange { inflight, resend } = pending;
+        let Some(resend) = resend else {
+            let (recv, wall) = self.transport.exchange_wait(self.rank, inflight, overlapped);
+            self.stats.borrow_mut().exchange_wall += wall;
+            return recv;
+        };
+        self.exchange_wait_hardened(inflight, resend)
+    }
+
+    /// The hardened wait loop: poll → validate → agree → (return |
+    /// backoff + retransmit).
+    fn exchange_wait_hardened(&self, mut inflight: InFlight, resend: ResendState) -> Vec<Vec<u8>> {
+        let policy = self.retry.expect("hardened wait without a retry policy");
+        let ResendState { frames, seq } = resend;
+        let mut recovery_start: Option<Instant> = None;
+        let mut attempt = 0u32;
+        loop {
+            // Wait for the in-flight helper, counting (bounded) timeouts
+            // instead of blocking forever on a hung exchange.
+            let mut consecutive_timeouts = 0u32;
+            let result = loop {
+                match inflight.poll(policy.wait_timeout) {
+                    Some(result) => break result,
+                    None => {
+                        self.stats.borrow_mut().wait_timeouts += 1;
+                        consecutive_timeouts += 1;
+                        assert!(
+                            consecutive_timeouts < policy.max_wait_timeouts,
+                            "rank {}: exchange seq {seq} hung: {} consecutive waits of {:?} \
+                             elapsed with no result; failing the stage (resume from the last \
+                             checkpoint with --checkpoint-dir)",
+                            self.rank,
+                            consecutive_timeouts,
+                            policy.wait_timeout,
+                        );
+                    }
+                }
+            };
+            let (recv, wall) = match result {
+                Ok(out) => out,
+                Err(payload) => resume_unwind(payload),
+            };
+
+            // Validate every source's frame against this round's sequence.
+            let mut payloads = Vec::with_capacity(recv.len());
+            let mut clean = true;
+            {
+                let mut stats = self.stats.borrow_mut();
+                for buf in &recv {
+                    match decode_frame(buf, seq) {
+                        Ok(payload) => payloads.push(payload.to_vec()),
+                        Err(FrameError::WrongSeq { got, .. }) if got < seq => {
+                            // A structurally valid duplicate of an earlier
+                            // round — dropped by sequence number.
+                            stats.duplicates_dropped += 1;
+                            clean = false;
+                        }
+                        Err(_) => {
+                            stats.frames_corrupt_detected += 1;
+                            clean = false;
+                        }
+                    }
+                }
+            }
+
+            // Every rank must agree the round is clean before anyone
+            // consumes it: a rank that received garbage needs its peers to
+            // replay, and the SPMD contract requires the retransmit (a
+            // full collective) to be entered by all ranks or none. The
+            // handshake rides the transport's reliable control plane
+            // (slot matrix + barrier), not the faultable byte path.
+            let all_clean = self.agree(clean);
+            if all_clean {
+                self.stats.borrow_mut().exchange_wall += wall;
+                if let Some(t0) = recovery_start {
+                    self.stats.borrow_mut().retry_wall += t0.elapsed();
+                }
+                return payloads;
+            }
+            recovery_start.get_or_insert_with(Instant::now);
+            assert!(
+                attempt < policy.max_retries,
+                "rank {}: exchange seq {seq} still damaged after {} retransmits; failing the \
+                 stage (resume from the last checkpoint with --checkpoint-dir)",
+                self.rank,
+                policy.max_retries,
+            );
+            // Bounded exponential backoff, then replay the exact frames:
+            // packing is idempotent per round, so the retransmit is
+            // byte-identical to the original attempt.
+            let backoff = policy
+                .backoff_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(policy.backoff_max);
+            std::thread::sleep(backoff);
+            self.stats.borrow_mut().frames_retransmitted += frames.len() as u64;
+            inflight = self.transport.exchange_start(self.rank, frames.clone());
+            attempt += 1;
+        }
+    }
+
+    /// All-reduce a `bool` with AND over the transport's reliable slot
+    /// matrix — the hardened layer's agreement handshake. Deliberately
+    /// bypasses [`Self::allgather`] so protocol overhead never inflates
+    /// `dense_collectives` or modeled exchange walls.
+    fn agree(&self, ok: bool) -> bool {
+        for dst in 0..self.size {
+            self.transport.put(self.rank, dst, Box::new(ok));
+        }
+        self.transport.wait();
+        let mut all = true;
+        for src in 0..self.size {
+            all &= self.recv::<bool>(src);
+        }
+        self.transport.wait();
+        all
     }
 
     /// Dense all-to-all of one fixed-size value per destination (the

@@ -30,6 +30,7 @@
 
 mod comm;
 pub mod executor;
+pub mod frame;
 mod hub;
 pub mod round_exchange;
 pub mod stats;
@@ -37,12 +38,14 @@ pub mod transport;
 pub mod wire;
 mod world;
 
-pub use comm::Comm;
+pub use comm::{Comm, PendingExchange};
 pub use executor::BatchedExecutor;
+pub use frame::{crc32, decode_frame, encode_frame, FrameError, FRAME_HEADER_BYTES};
 pub use round_exchange::{records_per_round, ByteRounds, RoundExchange, RoundPlan};
 pub use stats::CommStats;
 pub use transport::{
-    Collective, InFlight, SharedMem, SimNet, SimNetConfig, Transport, TransportKind,
+    Collective, FaultSpec, FaultyConfig, FaultyInner, FaultyNet, InFlight, RetryPolicy, SharedMem,
+    SimNet, SimNetConfig, Transport, TransportKind,
 };
-pub use wire::{decode_iter, decode_vec, encode_slice, Wire};
+pub use wire::{decode_iter, decode_vec, encode_slice, try_decode_vec, Wire, WireError};
 pub use world::CommWorld;

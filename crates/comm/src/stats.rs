@@ -43,6 +43,28 @@ pub struct CommStats {
     /// *concurrent* intervals — their sum can exceed the stage wall, which
     /// is precisely the overlap the engine buys.
     pub pack_wall: Duration,
+    /// Frames the hardened exchange layer rejected for structural damage
+    /// (truncation, bad magic, length mismatch, CRC failure). Zero unless
+    /// the transport advertises a [`crate::RetryPolicy`] and the medium
+    /// actually mangles payloads.
+    pub frames_corrupt_detected: u64,
+    /// Per-destination frames re-sent by the retransmit loop (one
+    /// retransmit of a `P`-rank round counts `P`). These bytes ride the
+    /// recovery path and are deliberately *not* added to `dest_bytes` —
+    /// the traffic accounting stays the logical payload the algorithm
+    /// needed, so projections and wire-ratio invariants are unchanged by
+    /// chaos.
+    pub frames_retransmitted: u64,
+    /// Structurally valid frames discarded because they carried a stale
+    /// sequence number — duplicates of an earlier round.
+    pub duplicates_dropped: u64,
+    /// Times an `exchange_wait` poll exceeded the policy's wait timeout
+    /// before the in-flight helper produced a result.
+    pub wait_timeouts: u64,
+    /// Wall-clock time spent in the recovery path: backoff sleeps,
+    /// retransmits, and the agreement handshake that decides whether a
+    /// round must be replayed.
+    pub retry_wall: Duration,
 }
 
 impl CommStats {
@@ -109,6 +131,20 @@ impl CommStats {
         self.peak_round_bytes = self.peak_round_bytes.max(other.peak_round_bytes);
         self.exchange_wall += other.exchange_wall;
         self.pack_wall += other.pack_wall;
+        self.frames_corrupt_detected += other.frames_corrupt_detected;
+        self.frames_retransmitted += other.frames_retransmitted;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.wait_timeouts += other.wait_timeouts;
+        self.retry_wall += other.retry_wall;
+    }
+
+    /// True if any robustness counter is nonzero — i.e. the hardened
+    /// exchange layer detected and survived at least one fault.
+    pub fn any_faults_survived(&self) -> bool {
+        self.frames_corrupt_detected != 0
+            || self.frames_retransmitted != 0
+            || self.duplicates_dropped != 0
+            || self.wait_timeouts != 0
     }
 
     pub(crate) fn record_exchange(&mut self, sizes: impl Iterator<Item = usize>) {
@@ -178,5 +214,25 @@ mod tests {
         assert_eq!(a.pack_wall, Duration::from_millis(9));
         // The peak is the max across the merged stats, not a sum.
         assert_eq!(a.peak_round_bytes, 10);
+    }
+
+    #[test]
+    fn merge_sums_robustness_counters() {
+        let mut a = CommStats::new(2);
+        a.frames_corrupt_detected = 1;
+        a.retry_wall = Duration::from_millis(5);
+        assert!(a.any_faults_survived());
+        let mut b = CommStats::new(2);
+        b.frames_retransmitted = 4;
+        b.duplicates_dropped = 2;
+        b.wait_timeouts = 1;
+        b.retry_wall = Duration::from_millis(3);
+        a.merge(&b);
+        assert_eq!(a.frames_corrupt_detected, 1);
+        assert_eq!(a.frames_retransmitted, 4);
+        assert_eq!(a.duplicates_dropped, 2);
+        assert_eq!(a.wait_timeouts, 1);
+        assert_eq!(a.retry_wall, Duration::from_millis(8));
+        assert!(!CommStats::new(2).any_faults_survived());
     }
 }

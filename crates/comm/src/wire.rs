@@ -108,20 +108,62 @@ pub fn encode_slice<T: Wire>(items: &[T]) -> Vec<u8> {
     out
 }
 
+/// Why a buffer could not be decoded as a packed record slice.
+///
+/// In-process exchanges can treat a misaligned buffer as an internal
+/// invariant violation and panic ([`decode_vec`]), but paths that read
+/// bytes an unreliable medium may have mangled — the hardened frame
+/// layer, the checkpoint loader — need the failure as a value so they
+/// can retry or recompute instead of crashing the rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer length is not a whole number of records — truncated or
+    /// corrupt.
+    Misaligned {
+        /// Bytes in the buffer.
+        len: usize,
+        /// Declared `Wire::SIZE` of the record type.
+        record_size: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WireError::Misaligned { len, record_size } => write!(
+                f,
+                "buffer length {len} not a multiple of record size {record_size}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decode a buffer previously produced by [`encode_slice`], reporting a
+/// truncated or corrupt buffer as a typed [`WireError`] instead of
+/// panicking.
+pub fn try_decode_vec<T: Wire>(buf: &[u8]) -> Result<Vec<T>, WireError> {
+    if !buf.len().is_multiple_of(T::SIZE) {
+        return Err(WireError::Misaligned {
+            len: buf.len(),
+            record_size: T::SIZE,
+        });
+    }
+    Ok(buf.chunks_exact(T::SIZE).map(T::read).collect())
+}
+
 /// Decode a buffer previously produced by [`encode_slice`].
 ///
 /// # Panics
 /// Panics if the buffer length is not a multiple of `T::SIZE` (corrupt or
-/// mismatched message).
+/// mismatched message). Use [`try_decode_vec`] where the caller can
+/// recover.
 pub fn decode_vec<T: Wire>(buf: &[u8]) -> Vec<T> {
-    assert_eq!(
-        buf.len() % T::SIZE,
-        0,
-        "buffer length {} not a multiple of record size {}",
-        buf.len(),
-        T::SIZE
-    );
-    buf.chunks_exact(T::SIZE).map(T::read).collect()
+    match try_decode_vec(buf) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Iterate over decoded records without materializing a vector.
@@ -177,6 +219,15 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn misaligned_buffer_panics() {
         let _ = decode_vec::<u32>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn try_decode_reports_misalignment_as_value() {
+        let err = try_decode_vec::<u32>(&[0u8; 7]).unwrap_err();
+        assert_eq!(err, WireError::Misaligned { len: 7, record_size: 4 });
+        assert!(err.to_string().contains("not a multiple"));
+        let ok = try_decode_vec::<u32>(&[0u8; 8]).unwrap();
+        assert_eq!(ok, vec![0, 0]);
     }
 
     #[test]

@@ -127,6 +127,15 @@ pub struct PipelineConfig {
     /// kernels are bit-identical, so this only moves throughput. The CLI
     /// exposes this as `--simd`, the bench harness as `DIBELLA_SIMD`.
     pub simd: Option<SimdMode>,
+    /// When set (`--checkpoint-dir`), each rank serializes its completed
+    /// stage outputs (reliable/minimizer k-mer table after stage 2, the
+    /// overlap task list after stage 3) into this directory through the
+    /// `Wire` codec, and a fresh run over the same inputs resumes from
+    /// the last completed stage bit-identically instead of recomputing —
+    /// the recovery path a rank that exhausted its exchange retries
+    /// points at. `None` (the default) neither reads nor writes
+    /// checkpoints.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -153,6 +162,7 @@ impl Default for PipelineConfig {
             threads: None,
             transport: TransportKind::SharedMem,
             simd: None,
+            checkpoint_dir: None,
         }
     }
 }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod alignment_stage;
+pub mod checkpoint;
 pub mod config;
 pub mod graph;
 pub mod model;
@@ -40,6 +41,10 @@ pub mod pipeline;
 pub mod record;
 
 pub use alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
+pub use checkpoint::{
+    decode_table, decode_tasks, encode_table, encode_tasks, run_fingerprint, TableCheckpoint,
+    TABLE_STAGE, TASKS_STAGE,
+};
 pub use config::{PipelineConfig, SeedMode};
 pub use graph::{OverlapEdge, OverlapGraph};
 pub use model::{project, rank_load, PipelineProjection, Stage};

@@ -24,14 +24,24 @@
 //! alignments and traffic counters stay byte-identical.
 
 use crate::alignment_stage::{align_tasks, fetch_remote_reads, AlignCounters};
+use crate::checkpoint::{
+    decode_table, decode_tasks, encode_table, encode_tasks, run_fingerprint, TableCheckpoint,
+    TABLE_STAGE, TASKS_STAGE,
+};
 use crate::config::{PipelineConfig, SeedMode};
 use crate::record::AlignmentRecord;
 use dibella_comm::{BatchedExecutor, Comm, CommStats, CommWorld};
-use dibella_io::{parse_block, partition_reads, byte_ranges, Read, ReadPartition, ReadSet, ReadStore};
-use dibella_kcount::{
-    bloom_stage_overlapping, hash_stage_prepacked, minimizer_stage, FilterStats, KmerStageCounters,
+use dibella_io::{
+    parse_block, partition_reads, byte_ranges, CheckpointStore, Read, ReadPartition, ReadSet,
+    ReadStore,
 };
-use dibella_overlap::{overlap_stage_with_lengths, OverlapCounters, TaskPlacement};
+use dibella_kcount::{
+    bloom_stage_overlapping, hash_stage_prepacked, minimizer_stage, FilterStats, KmerHashTable,
+    KmerStageCounters,
+};
+use dibella_overlap::{
+    overlap_stage_with_lengths, OverlapCounters, OverlapOutput, OverlapTask, TaskPlacement,
+};
 use std::time::{Duration, Instant};
 
 /// Wall-clock split of one stage on one rank.
@@ -134,6 +144,25 @@ impl RankReport {
     pub fn total_exchange(&self) -> Duration {
         self.stage_timings().iter().map(|t| t.exchange).sum()
     }
+
+    /// The four stage traffic snapshots in pipeline order — the
+    /// counterpart of [`Self::stage_timings`] for [`CommStats`].
+    pub fn stage_comms(&self) -> [&CommStats; 4] {
+        [&self.bloom_comm, &self.hash_comm, &self.overlap_comm, &self.align_comm]
+    }
+
+    /// All four stages' traffic counters merged into one snapshot —
+    /// including the hardened-exchange fault counters
+    /// (`frames_corrupt_detected`, `frames_retransmitted`,
+    /// `duplicates_dropped`, `wait_timeouts`, `retry_wall`), which are
+    /// zero unless the transport injected faults.
+    pub fn total_comm(&self) -> CommStats {
+        let mut merged = CommStats::new(self.ranks);
+        for stage in self.stage_comms() {
+            merged.merge(stage);
+        }
+        merged
+    }
 }
 
 /// Result of a whole-world pipeline run.
@@ -181,6 +210,7 @@ pub fn pipeline_rank(
 
     // Agree on dataset-wide parameters before timing the stages.
     let total_bases = comm.allreduce_sum_u64(local_bases);
+    let total_reads = comm.allreduce_sum_u64(local_reads);
     let mut kc = cfg.kcount(total_bases);
     if let Some(precision) = cfg.hll_precision {
         // Optional HyperLogLog cardinality pre-pass for Bloom sizing
@@ -190,6 +220,33 @@ pub fn pipeline_rank(
     }
     let oc = cfg.overlap();
     let exec = BatchedExecutor::new(cfg.effective_threads());
+
+    // ---- checkpoint/restart setup -----------------------------------------
+    // Open the store and *decode* any stage snapshots up front, then agree
+    // world-wide on which (if any) to resume from. The agreement must be
+    // unanimous and must follow a successful decode on every rank: stages
+    // are collectives, so a world where one rank skips a stage and another
+    // recomputes it would deadlock. A rank whose file is missing, damaged,
+    // or from a different run votes "recompute" and the whole world falls
+    // back — a bad checkpoint costs time, never correctness or liveness.
+    let checkpoint = cfg.checkpoint_dir.as_ref().map(|dir| {
+        CheckpointStore::new(dir, comm.size(), run_fingerprint(cfg, total_reads, total_bases))
+            .unwrap_or_else(|e| panic!("cannot open checkpoint dir {}: {e}", dir.display()))
+    });
+    let loaded_tasks: Option<Vec<OverlapTask>> = checkpoint
+        .as_ref()
+        .and_then(|store| load_stage(store, TASKS_STAGE, rank, decode_tasks));
+    let loaded_table: Option<TableCheckpoint> = checkpoint
+        .as_ref()
+        .and_then(|store| load_stage(store, TABLE_STAGE, rank, decode_table));
+    // Both votes run unconditionally — every rank must join every collective.
+    let p = comm.size() as u64;
+    let all_tasks = comm.allreduce_sum_u64(loaded_tasks.is_some() as u64) == p;
+    let all_table = comm.allreduce_sum_u64(loaded_table.is_some() as u64) == p;
+    let resume_tasks = all_tasks.then_some(loaded_tasks).flatten();
+    let resume_table = (!all_tasks && all_table).then_some(loaded_table).flatten();
+    let resumed_front_end = resume_tasks.is_some() || resume_table.is_some();
+
     comm.take_stats(); // reset counters; setup traffic is not charged to a stage
 
     // ---- stages 1 + 2: seed-source front end ------------------------------
@@ -200,7 +257,40 @@ pub fn pipeline_rank(
     // or exchanged there.
     #[allow(clippy::type_complexity)]
     let (table, bloom_counters, bloom_comm, bloom_wall, bloom_bytes, table_keys, hash_counters, hash_comm, hash_wall, filter) =
-        match cfg.seed_mode {
+        if resume_tasks.is_some() {
+            // Stages 1–3 are skipped wholesale; their report slots stay
+            // zeroed, like the Bloom slot under minimizer mode. The table
+            // is not rebuilt — stage 4 only needs the task list.
+            (
+                KmerHashTable::default(),
+                KmerStageCounters::default(),
+                CommStats::new(comm.size()),
+                StageTiming::default(),
+                0,
+                0,
+                KmerStageCounters::default(),
+                CommStats::new(comm.size()),
+                StageTiming::default(),
+                FilterStats::default(),
+            )
+        } else if let Some(restored) = resume_table {
+            // Resume from the post-stage-2 snapshot: stages 1–2 are
+            // skipped; the filter statistics and pre-filter key count are
+            // restored so those report fields survive the restart. The
+            // work/traffic/timing slots of the skipped passes stay zeroed.
+            (
+                restored.table,
+                KmerStageCounters::default(),
+                CommStats::new(comm.size()),
+                StageTiming::default(),
+                0,
+                restored.table_keys,
+                KmerStageCounters::default(),
+                CommStats::new(comm.size()),
+                StageTiming::default(),
+                restored.filter,
+            )
+        } else { match cfg.seed_mode {
             SeedMode::Reliable => {
                 // Cross-stage overlap: the hash pass's first round is
                 // packed while the Bloom pass's last exchange is still in
@@ -262,24 +352,46 @@ pub fn pipeline_rank(
                     mo.filter,
                 )
             }
-        };
+        } };
     let table_bytes = table.memory_bytes();
+    if let Some(store) = checkpoint.as_ref().filter(|_| !resumed_front_end) {
+        // Persist the stage-2 output (outside the stage's timing window;
+        // checkpoint I/O is not pipeline work).
+        save_stage(store, TABLE_STAGE, rank, &encode_table(&table, table_keys, &filter));
+    }
 
     // ---- stage 3: overlap ---------------------------------------------------
-    // Length-aware placement needs every read's length; one dense
-    // allgather of u32s (id order equals rank-concatenation order).
-    let lengths: Option<Vec<u32>> = (oc.placement == TaskPlacement::LongerRead).then(|| {
-        let local_lens: Vec<u32> = local.iter().map(|r| r.len() as u32).collect();
-        comm.allgather(local_lens).into_iter().flatten().collect()
-    });
-    let t = Instant::now();
-    let overlap_out =
-        overlap_stage_with_lengths(comm, &table, part, &oc, lengths.as_deref(), &exec);
-    let overlap_comm = comm.take_stats();
-    let overlap_wall = StageTiming {
-        total: t.elapsed(),
-        exchange: overlap_comm.exchange_wall,
-        pack: overlap_comm.pack_wall,
+    let (overlap_out, overlap_comm, overlap_wall) = match resume_tasks {
+        // Stage 3 skipped: tasks come from the snapshot; the work,
+        // traffic, and timing slots stay zeroed like the other skipped
+        // stages'. (The skip is safe precisely because it is unanimous —
+        // no rank enters the stage's collectives.)
+        Some(tasks) => (
+            OverlapOutput { tasks, counters: OverlapCounters::default() },
+            CommStats::new(comm.size()),
+            StageTiming::default(),
+        ),
+        None => {
+            // Length-aware placement needs every read's length; one dense
+            // allgather of u32s (id order equals rank-concatenation order).
+            let lengths: Option<Vec<u32>> = (oc.placement == TaskPlacement::LongerRead).then(|| {
+                let local_lens: Vec<u32> = local.iter().map(|r| r.len() as u32).collect();
+                comm.allgather(local_lens).into_iter().flatten().collect()
+            });
+            let t = Instant::now();
+            let out =
+                overlap_stage_with_lengths(comm, &table, part, &oc, lengths.as_deref(), &exec);
+            let overlap_comm = comm.take_stats();
+            let overlap_wall = StageTiming {
+                total: t.elapsed(),
+                exchange: overlap_comm.exchange_wall,
+                pack: overlap_comm.pack_wall,
+            };
+            if let Some(store) = &checkpoint {
+                save_stage(store, TASKS_STAGE, rank, &encode_tasks(&out.tasks));
+            }
+            (out, overlap_comm, overlap_wall)
+        }
     };
     drop(table); // the hash table is no longer needed once tasks exist
 
@@ -325,6 +437,43 @@ pub fn pipeline_rank(
         align_wall,
     };
     (alignments, report)
+}
+
+/// Load and decode one stage snapshot, degrading *every* failure — a
+/// missing file, a damaged envelope, a foreign fingerprint, a payload a
+/// different build wrote — to `None` (recompute) with a warning on
+/// stderr. Checkpoints are an optimization; they must never be able to
+/// fail a run that could succeed from scratch.
+fn load_stage<T>(
+    store: &CheckpointStore,
+    stage: &str,
+    rank: usize,
+    decode: impl FnOnce(&[u8]) -> Result<T, String>,
+) -> Option<T> {
+    match store.load(stage, rank) {
+        Ok(None) => None,
+        Ok(Some(payload)) => match decode(&payload) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!(
+                    "warning: rank {rank}: checkpoint '{stage}' payload rejected ({e}); recomputing"
+                );
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("warning: rank {rank}: checkpoint '{stage}' rejected ({e}); recomputing");
+            None
+        }
+    }
+}
+
+/// Write one stage snapshot; failing to persist is a warning, not an
+/// error — it only costs the *next* run a recompute.
+fn save_stage(store: &CheckpointStore, stage: &str, rank: usize, payload: &[u8]) {
+    if let Err(e) = store.save(stage, rank, payload) {
+        eprintln!("warning: rank {rank}: failed to write checkpoint '{stage}': {e}");
+    }
 }
 
 fn merge(results: Vec<(Vec<AlignmentRecord>, RankReport)>) -> PipelineResult {
@@ -573,6 +722,98 @@ mod tests {
             sketch_bytes * 2 < two_pass_bytes,
             "sketch {sketch_bytes} B vs reliable {two_pass_bytes} B"
         );
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dibella-pipeline-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let reads = dataset(12, 150, 50, 21);
+        let dir = ckpt_dir("resume");
+        let cfg = PipelineConfig { checkpoint_dir: Some(dir.clone()), ..small_cfg() };
+        let p = 3;
+
+        let first = run_pipeline(&reads, p, &cfg);
+        for r in 0..p {
+            for stage in [crate::checkpoint::TABLE_STAGE, crate::checkpoint::TASKS_STAGE] {
+                assert!(
+                    dir.join(format!("dibella-{stage}.r{r}of{p}.ckpt")).exists(),
+                    "missing {stage} checkpoint for rank {r}"
+                );
+            }
+        }
+
+        // Second run resumes from the tasks snapshot: stages 1–3 are
+        // skipped (zeroed slots), yet alignments are bit-identical.
+        let resumed = run_pipeline(&reads, p, &cfg);
+        assert_eq!(resumed.alignments, first.alignments);
+        for r in &resumed.reports {
+            assert_eq!(r.bloom_comm.total_bytes(), 0);
+            assert_eq!(r.hash_comm.total_bytes(), 0);
+            assert_eq!(r.overlap_comm.total_bytes(), 0);
+            assert_eq!(r.overlap.rounds, 0, "overlap stage must not have run");
+            assert!(r.align.rounds >= 2, "alignment stage always runs");
+        }
+
+        // Drop the tasks snapshots: the world falls back to the table
+        // snapshot, re-runs the overlap stage only, and still matches.
+        for r in 0..p {
+            std::fs::remove_file(dir.join(format!("dibella-tasks.r{r}of{p}.ckpt"))).unwrap();
+        }
+        let from_table = run_pipeline(&reads, p, &cfg);
+        assert_eq!(from_table.alignments, first.alignments);
+        for (r, fresh) in from_table.reports.iter().zip(&first.reports) {
+            assert_eq!(r.bloom_comm.total_bytes(), 0, "bloom pass must be skipped");
+            assert_eq!(r.overlap.rounds, fresh.overlap.rounds);
+            assert_eq!(r.overlap_comm.total_bytes(), fresh.overlap_comm.total_bytes());
+            assert_eq!(r.filter, fresh.filter, "filter stats restored from the snapshot");
+            assert_eq!(r.table_keys, fresh.table_keys);
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_or_partial_checkpoints_degrade_to_recompute() {
+        let reads = dataset(10, 150, 50, 33);
+        let dir = ckpt_dir("degrade");
+        let cfg = PipelineConfig { checkpoint_dir: Some(dir.clone()), ..small_cfg() };
+        let p = 2;
+        let first = run_pipeline(&reads, p, &cfg);
+
+        // Corrupt rank 0's tasks snapshot and delete rank 1's table
+        // snapshot: neither resume point is unanimous anymore, so the
+        // world must recompute everything — and still match.
+        let tasks0 = dir.join(format!("dibella-tasks.r0of{p}.ckpt"));
+        let mut bytes = std::fs::read(&tasks0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&tasks0, &bytes).unwrap();
+        std::fs::remove_file(dir.join(format!("dibella-table.r1of{p}.ckpt"))).unwrap();
+
+        let rerun = run_pipeline(&reads, p, &cfg);
+        assert_eq!(rerun.alignments, first.alignments);
+        for r in &rerun.reports {
+            assert!(r.bloom.rounds >= 1, "full recompute must run the Bloom pass");
+            assert!(r.overlap.rounds >= 1);
+        }
+
+        // A config change (different k) invalidates the fingerprint: the
+        // rewritten snapshots are ignored, not misapplied.
+        let other = PipelineConfig { k: 13, ..cfg.clone() };
+        let other_res = run_pipeline(&reads, p, &other);
+        for r in &other_res.reports {
+            assert!(r.bloom.rounds >= 1, "foreign-fingerprint snapshots must be ignored");
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

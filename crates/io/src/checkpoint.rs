@@ -1,0 +1,317 @@
+//! Stage-boundary checkpoint files.
+//!
+//! A hardened run (`--checkpoint-dir`) serializes each rank's completed
+//! stage output so a later run — typically one restarted after a rank
+//! exhausted its exchange retries — can resume from the last completed
+//! stage bit-identically instead of recomputing it. The store is
+//! deliberately dumb: one file per (stage, rank), a fixed header, a CRC32
+//! over the payload, atomic tmp-then-rename writes. The payload itself is
+//! produced by the caller through the existing [`dibella_comm::Wire`]
+//! codec (see `dibella_core::checkpoint` for the stage codecs), so the
+//! bytes on disk are the same fixed-layout records the network moves.
+//!
+//! File layout (all little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic        0xD1BE11A5_C4EC_0001
+//!      8     4  version      bumped on any layout change
+//!     12     4  world        ranks in the writing run
+//!     16     4  rank         writing rank
+//!     20     8  fingerprint  caller-supplied run/config fingerprint
+//!     28     8  payload_len
+//!     36     4  crc32        over the payload bytes
+//!     40     …  payload
+//! ```
+//!
+//! A reader rejects (as a typed [`CheckpointError`], never a panic) any
+//! file whose magic, version, world size, rank, fingerprint, length or
+//! CRC disagrees — a stale or foreign checkpoint must degrade to
+//! recomputation, not poison a run.
+
+use dibella_comm::frame::crc32;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// First eight bytes of every checkpoint file.
+pub const CHECKPOINT_MAGIC: u64 = 0xD1BE_11A5_C4EC_0001;
+
+/// Bump on any change to the header or any stage payload codec.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 40;
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// File shorter than the fixed header.
+    Truncated {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Magic bytes did not match — not a checkpoint file.
+    BadMagic,
+    /// Written by a different checkpoint-format version.
+    BadVersion {
+        /// Version found in the file.
+        got: u32,
+    },
+    /// Written by a different world size, rank, or run configuration.
+    Mismatch {
+        /// Human-readable description of the disagreeing field.
+        what: &'static str,
+    },
+    /// Payload length or CRC32 disagrees with the header — the file was
+    /// truncated or corrupted after writing.
+    BadCrc,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated { got } => {
+                write!(f, "checkpoint truncated: {got} bytes < {HEADER_BYTES}-byte header")
+            }
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::BadVersion { got } => {
+                write!(f, "checkpoint version {got} (expected {CHECKPOINT_VERSION})")
+            }
+            CheckpointError::Mismatch { what } => {
+                write!(f, "checkpoint does not match this run ({what} differs)")
+            }
+            CheckpointError::BadCrc => write!(f, "checkpoint payload corrupt (length/CRC mismatch)"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Handle to one run's checkpoint directory, scoped to a world size and a
+/// caller-supplied configuration fingerprint (fold the inputs that must
+/// match for a stage payload to be reusable — k, seed mode, corpus size —
+/// into it; see `dibella_core::checkpoint::run_fingerprint`).
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    world: u32,
+    fingerprint: u64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn new(
+        dir: impl Into<PathBuf>,
+        world: usize,
+        fingerprint: u64,
+    ) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, world: world as u32, fingerprint })
+    }
+
+    /// The file a given stage/rank pair saves to.
+    pub fn path(&self, stage: &str, rank: usize) -> PathBuf {
+        self.dir.join(format!("dibella-{stage}.r{rank}of{}.ckpt", self.world))
+    }
+
+    /// Atomically write `payload` as the checkpoint of `stage` on `rank`:
+    /// the full file is assembled in a `.tmp` sibling and renamed into
+    /// place, so readers never observe a half-written checkpoint.
+    pub fn save(&self, stage: &str, rank: usize, payload: &[u8]) -> Result<(), CheckpointError> {
+        let path = self.path(stage, rank);
+        let tmp = path.with_extension("ckpt.tmp");
+        let mut buf = Vec::with_capacity(HEADER_BYTES + payload.len());
+        buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.world.to_le_bytes());
+        buf.extend_from_slice(&(rank as u32).to_le_bytes());
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Load the checkpoint of `stage` on `rank`. `Ok(None)` means no
+    /// checkpoint exists (a fresh run); every other defect is a typed
+    /// error the caller is expected to log and recover from by
+    /// recomputing the stage.
+    pub fn load(&self, stage: &str, rank: usize) -> Result<Option<Vec<u8>>, CheckpointError> {
+        let bytes = match fs::read(self.path(stage, rank)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < HEADER_BYTES {
+            return Err(CheckpointError::Truncated { got: bytes.len() });
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        if u64_at(0) != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u32_at(8);
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion { got: version });
+        }
+        if u32_at(12) != self.world {
+            return Err(CheckpointError::Mismatch { what: "world size" });
+        }
+        if u32_at(16) != rank as u32 {
+            return Err(CheckpointError::Mismatch { what: "rank" });
+        }
+        if u64_at(20) != self.fingerprint {
+            return Err(CheckpointError::Mismatch { what: "run fingerprint" });
+        }
+        let payload = &bytes[HEADER_BYTES..];
+        if u64_at(28) != payload.len() as u64 {
+            return Err(CheckpointError::BadCrc);
+        }
+        if u32_at(36) != crc32(payload) {
+            return Err(CheckpointError::BadCrc);
+        }
+        Ok(Some(payload.to_vec()))
+    }
+
+    /// Remove a stage's checkpoint if present (e.g. when a later run
+    /// decides it is stale). Missing files are not an error.
+    pub fn remove(&self, stage: &str, rank: usize) -> Result<(), CheckpointError> {
+        match fs::remove_file(self.path(stage, rank)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Convenience for tests and tools: is `path` a plausible checkpoint
+/// file (right magic and version), without validating payload integrity?
+pub fn is_checkpoint_file(path: &Path) -> bool {
+    let Ok(bytes) = fs::read(path) else { return false };
+    bytes.len() >= 12
+        && u64::from_le_bytes(bytes[0..8].try_into().unwrap()) == CHECKPOINT_MAGIC
+        && u32::from_le_bytes(bytes[8..12].try_into().unwrap()) == CHECKPOINT_VERSION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dibella-ckpt-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::new(&dir, 4, 0xFEED).unwrap();
+        let payload: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        store.save("table", 2, &payload).unwrap();
+        assert_eq!(store.load("table", 2).unwrap(), Some(payload));
+        // Other ranks and stages are absent, not errors.
+        assert_eq!(store.load("table", 3).unwrap(), None);
+        assert_eq!(store.load("tasks", 2).unwrap(), None);
+        assert!(is_checkpoint_file(&store.path("table", 2)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_typed_errors() {
+        let dir = tmpdir("mismatch");
+        let store = CheckpointStore::new(&dir, 4, 7).unwrap();
+        store.save("table", 0, b"payload").unwrap();
+
+        // Different fingerprint (config changed between runs).
+        let other = CheckpointStore::new(&dir, 4, 8).unwrap();
+        assert!(matches!(
+            other.load("table", 0),
+            Err(CheckpointError::Mismatch { what: "run fingerprint" })
+        ));
+
+        // Different world size: the filename encodes the world, so the
+        // file is simply not found.
+        let other = CheckpointStore::new(&dir, 2, 7).unwrap();
+        assert_eq!(other.load("table", 0).unwrap(), None);
+
+        // A rank mismatch inside a correctly-named file.
+        fs::rename(store.path("table", 0), store.path("table", 1)).unwrap();
+        assert!(matches!(
+            store.load("table", 1),
+            Err(CheckpointError::Mismatch { what: "rank" })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let dir = tmpdir("corrupt");
+        let store = CheckpointStore::new(&dir, 1, 1).unwrap();
+        store.save("tasks", 0, &vec![0xAB; 4096]).unwrap();
+        let path = store.path("tasks", 0);
+        let clean = fs::read(&path).unwrap();
+
+        // Flip one payload bit.
+        let mut bad = clean.clone();
+        *bad.last_mut().unwrap() ^= 0x10;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(store.load("tasks", 0), Err(CheckpointError::BadCrc)));
+
+        // Truncate the payload.
+        fs::write(&path, &clean[..clean.len() - 100]).unwrap();
+        assert!(matches!(store.load("tasks", 0), Err(CheckpointError::BadCrc)));
+
+        // Truncate into the header.
+        fs::write(&path, &clean[..10]).unwrap();
+        assert!(matches!(store.load("tasks", 0), Err(CheckpointError::Truncated { .. })));
+
+        // Garbage long enough to reach the magic check.
+        fs::write(&path, b"not a checkpoint file at all, sorry - just ascii filler!").unwrap();
+        assert!(matches!(store.load("tasks", 0), Err(CheckpointError::BadMagic)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_gate() {
+        let dir = tmpdir("version");
+        let store = CheckpointStore::new(&dir, 1, 1).unwrap();
+        store.save("table", 0, b"x").unwrap();
+        let path = store.path("table", 0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = bytes[8].wrapping_add(1); // bump the version field
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load("table", 0), Err(CheckpointError::BadVersion { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let dir = tmpdir("remove");
+        let store = CheckpointStore::new(&dir, 1, 1).unwrap();
+        store.save("table", 0, b"x").unwrap();
+        store.remove("table", 0).unwrap();
+        store.remove("table", 0).unwrap();
+        assert_eq!(store.load("table", 0).unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fastq;
 pub mod partition;
 pub mod read;
 pub mod store;
 
+pub use checkpoint::{CheckpointError, CheckpointStore};
 pub use fastq::{
     read_fasta, read_fastq, write_fasta, write_fastq, FastqReader, FastqRecord, ParseError,
 };

@@ -886,6 +886,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn minimizer_stage_is_bit_identical_across_threads() {
         // Tiny round cap (64 records) and extract batch (16) force many
         // batch cuts through read interiors — selection context must

@@ -180,6 +180,15 @@ impl KmerHashTable {
         self.map.iter()
     }
 
+    /// Insert a fully-formed entry under `kmer`, replacing any resident
+    /// one. This is the checkpoint-restore path: a table reloaded from a
+    /// stage checkpoint must reproduce exactly the entries the original
+    /// pass built, including counts that exceed the stored occurrence
+    /// list's length.
+    pub fn insert_entry(&mut self, kmer: Kmer1, entry: KmerEntry) {
+        self.map.insert(kmer, entry);
+    }
+
     /// Approximate resident bytes (keys + entries + occurrence lists) —
     /// the per-rank working set fed to the cache model.
     pub fn memory_bytes(&self) -> u64 {

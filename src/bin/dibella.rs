@@ -40,8 +40,10 @@ const USAGE: &str = "dibella — distributed long-read overlap and alignment (IC
 
 USAGE:
   dibella overlap <reads.fastq> [-k K] [-p RANKS] [-t|--threads N]
-                  [--transport shared|sim:<platform>[:<ranks_per_node>]]
-                  [--round-mb MB] [--policy one|1000|k] [-e ERR] [-d DEPTH]
+                  [--transport shared|sim:<platform>[:<ranks_per_node>]
+                              |faulty:<inner>:<seed>:<spec>]
+                  [--checkpoint-dir DIR] [--round-mb MB]
+                  [--policy one|1000|k] [-e ERR] [-d DEPTH]
                   [--seed-mode reliable|minimizer] [--minimizer-w W]
                   [-x XDROP] [--min-score S] [--simd scalar|auto]
                   [-o out.paf] [--gfa out.gfa]
@@ -116,12 +118,18 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
     // cores). `--align-threads` is the deprecated spelling of `--threads`.
     let threads: usize =
         flags.get("threads", flags.get("align-threads", flags.get("t", 1)?)?)?;
-    // Communication backend: real shared memory, or a simulated network
-    // ("sim:<platform>[:<ranks_per_node>]" — virtual cori|edison|titan|aws).
+    // Communication backend: real shared memory, a simulated network
+    // ("sim:<platform>[:<ranks_per_node>]" — virtual cori|edison|titan|aws),
+    // or either of those wrapped in the fault-injecting chaos transport
+    // ("faulty:<inner>:<seed>:<spec>" — see DIBELLA_FAULTS / ARCHITECTURE.md).
     let transport: TransportKind = match flags.named.get("transport") {
         None => TransportKind::SharedMem,
         Some(v) => v.parse()?,
     };
+    // Stage-boundary checkpoints: persist per-rank stage outputs under DIR
+    // and resume from the last completed stage on the next identical run.
+    let checkpoint_dir: Option<std::path::PathBuf> =
+        flags.named.get("checkpoint-dir").map(Into::into);
     // Streaming-exchange byte cap per rank and round, in MiB (fractions
     // allowed); unset = unbounded, i.e. one monolithic exchange per stage.
     let round_bytes: usize = match flags.named.get("round-mb") {
@@ -168,6 +176,7 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         simd,
         seed_mode,
         minimizer_w,
+        checkpoint_dir,
         ..Default::default()
     };
     let round_cap = if round_bytes == usize::MAX {
@@ -205,6 +214,23 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
             .unwrap_or(0);
         eprintln!(
             "dibella: peak exchange round {peak} B on any rank (cap {round_bytes} B)"
+        );
+    }
+    if matches!(cfg.transport, TransportKind::Faulty(_)) {
+        // Chaos run: summarize what the hardened exchange layer absorbed.
+        // All counters are injected-and-survived events; the run's output
+        // above is bit-identical to a fault-free run regardless.
+        let mut all = dibella::comm::CommStats::new(ranks);
+        for r in &result.reports {
+            all.merge(&r.total_comm());
+        }
+        eprintln!(
+            "dibella: chaos survived: {} corrupt frames detected, {} frames retransmitted, {} duplicates dropped, {} wait timeouts, {:.2?} spent in recovery",
+            all.frames_corrupt_detected,
+            all.frames_retransmitted,
+            all.duplicates_dropped,
+            all.wait_timeouts,
+            all.retry_wall
         );
     }
     if cfg.transport != TransportKind::SharedMem {

@@ -9,7 +9,11 @@
 //! transports, the multi-round exchange path *and* the threaded stage
 //! executor with the same assertions. `DIBELLA_SEED_MODE`
 //! (`reliable` | `minimizer`) selects the seed front end, so the same
-//! smoke also covers the minimizer sketch path.
+//! smoke also covers the minimizer sketch path. A `faulty:...` transport
+//! runs the same assertions under injected faults — the hardened
+//! exchange layer must make chaos invisible to all of them — and
+//! `DIBELLA_EXPECT_FAULTS=1` additionally requires that the fault
+//! counters prove faults were actually injected and survived.
 
 use dibella::prelude::*;
 use std::time::Instant;
@@ -81,6 +85,29 @@ fn two_rank_pipeline_smoke() {
                 assert!(c.peak_round_bytes <= round_bytes as u64 + 8 + 400);
             }
         }
+    }
+
+    // Robustness counters: a clean transport must record none; a chaos
+    // transport must have survived whatever it injected (every assertion
+    // above already ran on its output). CI's chaos matrix sets
+    // DIBELLA_EXPECT_FAULTS=1 to insist that its fixed-seed spec really
+    // did inject something — guarding against a silently disabled
+    // injector passing the smoke vacuously.
+    let survived: u64 = res
+        .reports
+        .iter()
+        .map(|r| {
+            let c = r.total_comm();
+            c.frames_corrupt_detected + c.frames_retransmitted + c.duplicates_dropped
+                + c.wait_timeouts
+        })
+        .sum();
+    if matches!(cfg.transport, TransportKind::Faulty(_)) {
+        if std::env::var("DIBELLA_EXPECT_FAULTS").as_deref() == Ok("1") {
+            assert!(survived > 0, "chaos transport injected no faults");
+        }
+    } else {
+        assert_eq!(survived, 0, "clean transport recorded fault counters");
     }
 
     let elapsed = t0.elapsed();

@@ -9,7 +9,10 @@ use dibella_align::{
     extend_seed_with_workspace, extend_ungapped, extend_xdrop, extend_xdrop_with_workspace,
     smith_waterman, AlignWorkspace, KernelImpl, Scoring, SeedHit,
 };
+use dibella_bench::spgemm_fixture;
 use dibella_datagen::ErrorModel;
+use dibella_kcount::ReadKmerCsr;
+use dibella_overlap::{pack_row_block, SpgemmAccumulator, TaskPlacement};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -102,6 +105,45 @@ fn bench_workspace_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// SpGEMM overlap engine: row-block accumulator variants packing the
+/// shared fixture table, in rows/s (one element = one CSR row — a read's
+/// whole `A·Aᵀ` expansion). Dense, hash and the auto selector are
+/// byte-identical (asserted by `bench_kernels_json`, which tracks the
+/// same numbers in `BENCH_kernels.json`); only the throughput may move.
+fn bench_spgemm_rows(c: &mut Criterion) {
+    const RANKS: usize = 4;
+    const BLOCK: usize = 64;
+    let (table, part) = spgemm_fixture(256, 2_000, RANKS, 0x0D1B_E11A);
+    let csr = ReadKmerCsr::from_table(&table);
+
+    let mut g = c.benchmark_group("spgemm_rows_per_sec");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(csr.n_rows() as u64));
+    for (name, acc) in [
+        ("dense", SpgemmAccumulator::Dense),
+        ("hash", SpgemmAccumulator::Hash),
+        ("auto", SpgemmAccumulator::Auto),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                for lo in (0..csr.n_rows()).step_by(BLOCK) {
+                    let hi = (lo + BLOCK).min(csr.n_rows());
+                    black_box(pack_row_block(
+                        &csr,
+                        lo..hi,
+                        &part,
+                        TaskPlacement::Parity,
+                        None,
+                        RANKS,
+                        acc,
+                    ));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Ablation: the x-drop threshold X trades completed extension length
 /// (score) against DP cells.
 fn bench_xdrop_ablation(c: &mut Criterion) {
@@ -162,6 +204,7 @@ criterion_group!(
     benches,
     bench_kernels,
     bench_workspace_kernels,
+    bench_spgemm_rows,
     bench_xdrop_ablation,
     bench_xdrop_scaling,
     bench_xdrop_divergent

@@ -21,7 +21,11 @@
 //!   legacy − workspace difference is the `allocs_eliminated_per_call`
 //!   figure);
 //! * **task/s** of a 4-rank end-to-end pipeline on the sampled E. coli
-//!   30× workload — the number a perf regression in any stage moves.
+//!   30× workload — the number a perf regression in any stage moves;
+//! * **spgemm rows/s** (schema `/3`) — the SpGEMM overlap engine's
+//!   row-block accumulator variants (dense, hash, and the auto selector)
+//!   packing the shared [`dibella_bench::spgemm_fixture`] table, with
+//!   their byte-identity asserted before timing.
 //!
 //! Perf PRs diff this file to leave a measurable trajectory; the numbers
 //! are machine-dependent, so compare ratios, not absolutes, across hosts.
@@ -29,8 +33,12 @@
 use dibella_align::{
     banded_sw_with, extend_seed, extend_seed_with, AlignWorkspace, KernelImpl, Scoring, SeedHit,
 };
+use dibella_bench::spgemm_fixture;
 use dibella_core::{run_pipeline, PipelineConfig};
 use dibella_datagen::{ecoli_30x_sample_like, ErrorModel};
+use dibella_io::ReadPartition;
+use dibella_kcount::ReadKmerCsr;
+use dibella_overlap::{pack_row_block, SpgemmAccumulator, TaskPlacement};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -65,6 +73,33 @@ const PAIR_LEN: usize = 2_000;
 const ERROR_RATE: f64 = 0.15;
 const XDROP_X: i32 = 25;
 const KERNEL_ITERS: u32 = 60;
+
+const SPGEMM_READS: u32 = 256;
+const SPGEMM_KMERS: usize = 2_000;
+const SPGEMM_RANKS: usize = 4;
+const SPGEMM_BLOCK: usize = 64;
+const SPGEMM_ITERS: u32 = 40;
+
+/// Pack the whole fixture CSR through one accumulator variant:
+/// per-destination byte streams plus record/seed totals.
+fn spgemm_pack_all(
+    csr: &ReadKmerCsr,
+    part: &ReadPartition,
+    acc: SpgemmAccumulator,
+) -> (Vec<Vec<u8>>, u64, u64) {
+    let mut bufs = vec![Vec::new(); SPGEMM_RANKS];
+    let (mut records, mut seeds) = (0u64, 0u64);
+    for lo in (0..csr.n_rows()).step_by(SPGEMM_BLOCK) {
+        let hi = (lo + SPGEMM_BLOCK).min(csr.n_rows());
+        let out = pack_row_block(csr, lo..hi, part, TaskPlacement::Parity, None, SPGEMM_RANKS, acc);
+        records += out.records;
+        seeds += out.seeds;
+        for (d, b) in bufs.iter_mut().zip(out.bufs) {
+            d.extend_from_slice(&b);
+        }
+    }
+    (bufs, records, seeds)
+}
 
 /// One measured kernel: run `iters` calls, return
 /// `(cells/s, allocs per call, cells per call)`.
@@ -129,6 +164,25 @@ fn main() {
     assert_eq!(seed_simd.1, 0.0, "warmed SIMD kernel must not allocate");
     assert_eq!(banded_simd.1, 0.0, "warmed SIMD banded kernel must not allocate");
 
+    // ---- SpGEMM row-block accumulators -------------------------------------
+    let (table, part) = spgemm_fixture(SPGEMM_READS, SPGEMM_KMERS, SPGEMM_RANKS, 0x0D1B_E11A);
+    let csr = ReadKmerCsr::from_table(&table);
+    let (dense_bytes, sp_records, sp_seeds) = spgemm_pack_all(&csr, &part, SpgemmAccumulator::Dense);
+    let (hash_bytes, ..) = spgemm_pack_all(&csr, &part, SpgemmAccumulator::Hash);
+    assert_eq!(dense_bytes, hash_bytes, "accumulator variants disagree on the bench fixture");
+    assert!(sp_records > 0, "fixture produced no pair records");
+    let mut spgemm_rows_per_sec = [0f64; 3];
+    let variants = [SpgemmAccumulator::Dense, SpgemmAccumulator::Hash, SpgemmAccumulator::Auto];
+    for (i, acc) in variants.into_iter().enumerate() {
+        black_box(spgemm_pack_all(&csr, &part, acc)); // warm-up, untimed
+        let t0 = Instant::now();
+        for _ in 0..SPGEMM_ITERS {
+            black_box(spgemm_pack_all(&csr, &part, acc));
+        }
+        spgemm_rows_per_sec[i] =
+            (csr.n_rows() as u64 * SPGEMM_ITERS as u64) as f64 / t0.elapsed().as_secs_f64();
+    }
+
     // ---- 4-rank end-to-end pipeline ----------------------------------------
     let ds = ecoli_30x_sample_like(0.004, 42);
     let cfg = PipelineConfig { k: 17, max_seeds_per_pair: 4, ..Default::default() };
@@ -140,7 +194,7 @@ fn main() {
     let tasks_per_sec = tasks as f64 / pipe_wall;
 
     let json = format!(
-        "{{\n  \"schema\": \"dibella-bench-kernels/2\",\n  \"pair_len\": {PAIR_LEN},\n  \"error_rate\": {ERROR_RATE},\n  \"xdrop_x\": {XDROP_X},\n  \"kernels\": {{\n{},\n{},\n{},\n{},\n{}\n  }},\n  \"simd_speedup\": {{ \"seed_xdrop\": {:.2}, \"banded\": {:.2} }},\n  \"allocs_eliminated_per_call\": {:.2},\n  \"workspace_scratch_bytes\": {},\n  \"pipeline_4rank\": {{ \"ranks\": 4, \"tasks\": {tasks}, \"dp_cells\": {dp_cells}, \"wall_s\": {pipe_wall:.3}, \"tasks_per_sec\": {tasks_per_sec:.1} }}\n}}\n",
+        "{{\n  \"schema\": \"dibella-bench-kernels/3\",\n  \"pair_len\": {PAIR_LEN},\n  \"error_rate\": {ERROR_RATE},\n  \"xdrop_x\": {XDROP_X},\n  \"kernels\": {{\n{},\n{},\n{},\n{},\n{}\n  }},\n  \"simd_speedup\": {{ \"seed_xdrop\": {:.2}, \"banded\": {:.2} }},\n  \"allocs_eliminated_per_call\": {:.2},\n  \"workspace_scratch_bytes\": {},\n  \"spgemm\": {{ \"n_rows\": {}, \"nnz\": {}, \"records\": {sp_records}, \"seeds\": {sp_seeds}, \"seed_dup_factor\": {:.3}, \"rows_per_sec\": {{ \"dense\": {:.0}, \"hash\": {:.0}, \"auto\": {:.0} }} }},\n  \"pipeline_4rank\": {{ \"ranks\": 4, \"tasks\": {tasks}, \"dp_cells\": {dp_cells}, \"wall_s\": {pipe_wall:.3}, \"tasks_per_sec\": {tasks_per_sec:.1} }}\n}}\n",
         kernel_json("seed_xdrop_scalar", seed_scalar),
         kernel_json("seed_xdrop_simd", seed_simd),
         kernel_json("seed_xdrop_legacy", seed_legacy),
@@ -150,6 +204,12 @@ fn main() {
         banded_simd.0 / banded_scalar.0,
         seed_legacy.1 - seed_scalar.1,
         ws.scratch_bytes(),
+        csr.n_rows(),
+        csr.nnz(),
+        sp_seeds as f64 / sp_records as f64,
+        spgemm_rows_per_sec[0],
+        spgemm_rows_per_sec[1],
+        spgemm_rows_per_sec[2],
     );
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     print!("{json}");

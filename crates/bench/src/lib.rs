@@ -31,14 +31,22 @@
 //! selects the seed front end: the paper's two-pass reliable-k-mer
 //! counter, or the single-pass minimizer sketch (fewer wire bytes, seeds
 //! filtered by colinear chaining).
+//! `DIBELLA_OVERLAP_ENGINE` (`pairs` | `spgemm`, default `pairs`)
+//! selects the overlap-stage exchange engine (bit-identical alignments;
+//! the SpGEMM engine dedups shared-seed records at the source), and
+//! `DIBELLA_PAIR_BATCH` / `DIBELLA_SPGEMM_BLOCK` tune each engine's
+//! executor batch unit.
 
 #![warn(missing_docs)]
 
 use dibella_comm::TransportKind;
 use dibella_core::{run_pipeline, PipelineConfig, RankReport, SeedMode};
 use dibella_datagen::{ecoli_100x_like, ecoli_30x_like, ecoli_30x_sample_like, SyntheticDataset};
+use dibella_io::ReadPartition;
+use dibella_kcount::{KcountConfig, KmerHashTable, Occurrence};
+use dibella_kmer::{Kmer1, Strand};
 use dibella_netmodel::{NodeMapping, Platform, Series};
-use dibella_overlap::SeedPolicy;
+use dibella_overlap::{OverlapConfig, OverlapEngine, SeedPolicy};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -135,6 +143,83 @@ pub fn env_round_bytes() -> usize {
     }
 }
 
+/// The `DIBELLA_OVERLAP_ENGINE` environment knob: which overlap-stage
+/// exchange engine pipeline runs use (`pairs` | `spgemm`; see
+/// [`dibella_core::PipelineConfig::overlap_engine`]). Invalid values
+/// abort loudly rather than silently benchmarking the wrong engine.
+pub fn env_overlap_engine() -> OverlapEngine {
+    PipelineConfig::env_overlap_engine()
+}
+
+/// The `DIBELLA_PAIR_BATCH` environment knob: pair indices per executor
+/// batch in the `pairs` engine (default
+/// [`OverlapConfig::DEFAULT_PAIR_BATCH`]).
+pub fn env_pair_batch() -> usize {
+    match std::env::var("DIBELLA_PAIR_BATCH") {
+        Err(_) => OverlapConfig::DEFAULT_PAIR_BATCH,
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("DIBELLA_PAIR_BATCH must be a batch size, got {v:?}")),
+    }
+}
+
+/// The `DIBELLA_SPGEMM_BLOCK` environment knob: rows per SpGEMM block in
+/// the `spgemm` engine (default
+/// [`OverlapConfig::DEFAULT_SPGEMM_BLOCK`]).
+pub fn env_spgemm_block() -> usize {
+    match std::env::var("DIBELLA_SPGEMM_BLOCK") {
+        Err(_) => OverlapConfig::DEFAULT_SPGEMM_BLOCK,
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("DIBELLA_SPGEMM_BLOCK must be a row count, got {v:?}")),
+    }
+}
+
+/// Deterministic synthetic k-mer table (plus an even read partition over
+/// `ranks` owners) for the SpGEMM accumulator benches: `n_kmers` random
+/// k-mers, each occurring 2–8 times across `n_reads` reads. The
+/// `spgemm_rows_per_sec` Criterion group and the `bench_kernels_json`
+/// baseline writer share this fixture so both measure the same workload.
+pub fn spgemm_fixture(n_reads: u32, n_kmers: usize, ranks: usize, seed: u64) -> (KmerHashTable, ReadPartition) {
+    const K: usize = 17;
+    let kc = KcountConfig {
+        k: K,
+        max_multiplicity: 64,
+        bloom_fp_rate: 0.05,
+        expected_distinct: n_kmers.max(16) as u64,
+        max_kmers_per_round: 1 << 20,
+        max_exchange_bytes_per_round: usize::MAX,
+        extract_batch: 16,
+    };
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut table = KmerHashTable::with_capacity(n_kmers);
+    for _ in 0..n_kmers {
+        let ascii: Vec<u8> = (0..K).map(|_| b"ACGT"[(rnd() % 4) as usize]).collect();
+        let km = Kmer1::from_ascii(&ascii).expect("fixture k-mer");
+        table.insert_key(km);
+        for _ in 0..(2 + rnd() % 7) {
+            let strand = if rnd() % 2 == 0 { Strand::Forward } else { Strand::Reverse };
+            let occ = Occurrence { read: (rnd() % n_reads as u64) as u32, pos: (rnd() % 10_000) as u32, strand };
+            // Random k-mers may collide (incl. reverse-complement hits);
+            // the multiplicity cap then legitimately drops occurrences.
+            let _ = table.record_occurrence(&km, occ, &kc);
+        }
+    }
+    let per = (n_reads as usize).div_ceil(ranks);
+    let counts: Vec<usize> = (0..ranks)
+        .map(|r| per.min((n_reads as usize).saturating_sub(r * per)))
+        .collect();
+    (table, ReadPartition::from_counts(&counts))
+}
+
 /// Construct a workload's synthetic dataset at the bench scale.
 pub fn dataset(w: Workload) -> SyntheticDataset {
     match w {
@@ -160,6 +245,9 @@ pub fn config_for(w: Workload, policy: SeedPolicy) -> PipelineConfig {
         transport: env_transport(),
         max_exchange_bytes_per_round: env_round_bytes(),
         seed_mode: env_seed_mode(),
+        overlap_engine: env_overlap_engine(),
+        pair_batch: env_pair_batch(),
+        spgemm_block: env_spgemm_block(),
         ..Default::default()
     }
 }
@@ -338,6 +426,25 @@ mod tests {
         );
         std::env::remove_var("DIBELLA_SEED_MODE");
         assert_eq!(env_seed_mode(), SeedMode::Reliable);
+    }
+
+    #[test]
+    fn overlap_engine_env_knobs() {
+        let _env = ENV_LOCK.lock().unwrap();
+        std::env::set_var("DIBELLA_OVERLAP_ENGINE", "spgemm");
+        std::env::set_var("DIBELLA_PAIR_BATCH", "33");
+        std::env::set_var("DIBELLA_SPGEMM_BLOCK", "9");
+        assert_eq!(env_overlap_engine(), OverlapEngine::Spgemm);
+        let cfg = config_for(Workload::E30, SeedPolicy::Single);
+        assert_eq!(cfg.overlap_engine, OverlapEngine::Spgemm);
+        assert_eq!(cfg.pair_batch, 33);
+        assert_eq!(cfg.spgemm_block, 9);
+        std::env::remove_var("DIBELLA_OVERLAP_ENGINE");
+        std::env::remove_var("DIBELLA_PAIR_BATCH");
+        std::env::remove_var("DIBELLA_SPGEMM_BLOCK");
+        assert_eq!(env_overlap_engine(), OverlapEngine::Pairs);
+        assert_eq!(env_pair_batch(), OverlapConfig::DEFAULT_PAIR_BATCH);
+        assert_eq!(env_spgemm_block(), OverlapConfig::DEFAULT_SPGEMM_BLOCK);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use dibella_align::{Scoring, SimdMode};
 use dibella_comm::TransportKind;
 use dibella_kcount::KcountConfig;
 use dibella_kmer::params;
-use dibella_overlap::{ChainConfig, OverlapConfig, SeedPolicy, TaskPlacement};
+use dibella_overlap::{ChainConfig, OverlapConfig, OverlapEngine, SeedPolicy, TaskPlacement};
 use std::fmt;
 use std::str::FromStr;
 
@@ -73,6 +73,17 @@ pub struct PipelineConfig {
     pub seed_policy: SeedPolicy,
     /// Cap on seeds explored per pair.
     pub max_seeds_per_pair: usize,
+    /// Overlap-stage exchange engine (`--overlap-engine`,
+    /// `DIBELLA_OVERLAP_ENGINE`): the paper's per-seed `pairs` records, or
+    /// the source-deduplicating `spgemm` reformulation. Bit-identical
+    /// alignments either way.
+    pub overlap_engine: OverlapEngine,
+    /// Pair indices per executor batch in the `pairs` engine
+    /// (`--pair-batch`, `DIBELLA_PAIR_BATCH`).
+    pub pair_batch: usize,
+    /// Rows per SpGEMM block in the `spgemm` engine (`--spgemm-block`,
+    /// `DIBELLA_SPGEMM_BLOCK`).
+    pub spgemm_block: usize,
     /// x-drop termination parameter `X` of the alignment kernel.
     pub xdrop: i32,
     /// Alignment scoring scheme.
@@ -150,6 +161,9 @@ impl Default for PipelineConfig {
             min_chain_seeds: 2,
             seed_policy: SeedPolicy::Single,
             max_seeds_per_pair: 16,
+            overlap_engine: OverlapEngine::Pairs,
+            pair_batch: OverlapConfig::DEFAULT_PAIR_BATCH,
+            spgemm_block: OverlapConfig::DEFAULT_SPGEMM_BLOCK,
             xdrop: 25,
             scoring: Scoring::bella(),
             min_align_score: 0,
@@ -241,6 +255,21 @@ impl PipelineConfig {
         }
     }
 
+    /// The overlap engine requested via the environment
+    /// (`DIBELLA_OVERLAP_ENGINE`), defaulting to [`OverlapEngine::Pairs`]
+    /// when unset. Panics on an unparsable value — a silently ignored
+    /// engine switch is worse than a crash. Feed the result to
+    /// [`PipelineConfig::overlap_engine`].
+    pub fn env_overlap_engine() -> OverlapEngine {
+        match std::env::var("DIBELLA_OVERLAP_ENGINE") {
+            Err(_) => OverlapEngine::Pairs,
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("DIBELLA_OVERLAP_ENGINE: {e}")),
+        }
+    }
+
     /// Derive the overlap-stage configuration. The chain filter is
     /// enabled exactly when the minimizer front end feeds the stage.
     pub fn overlap(&self) -> OverlapConfig {
@@ -249,13 +278,15 @@ impl PipelineConfig {
             max_seeds_per_pair: self.max_seeds_per_pair,
             placement: self.placement,
             max_exchange_bytes_per_round: self.max_exchange_bytes_per_round,
-            pair_batch: OverlapConfig::DEFAULT_PAIR_BATCH,
+            pair_batch: self.pair_batch,
             chain: match self.seed_mode {
                 SeedMode::Reliable => None,
                 SeedMode::Minimizer => {
                     Some(ChainConfig { min_chain_seeds: self.min_chain_seeds })
                 }
             },
+            engine: self.overlap_engine,
+            spgemm_block: self.spgemm_block,
         }
     }
 }
@@ -332,6 +363,25 @@ mod tests {
         };
         assert_eq!(cfg.overlap().chain, Some(ChainConfig { min_chain_seeds: 3 }));
         assert_eq!(cfg.minimizer_w, 7);
+    }
+
+    #[test]
+    fn overlap_engine_knobs_reach_the_stage_config() {
+        let cfg = PipelineConfig::default();
+        assert_eq!(cfg.overlap_engine, OverlapEngine::Pairs);
+        assert_eq!(cfg.overlap().engine, OverlapEngine::Pairs);
+        assert_eq!(cfg.overlap().pair_batch, OverlapConfig::DEFAULT_PAIR_BATCH);
+        assert_eq!(cfg.overlap().spgemm_block, OverlapConfig::DEFAULT_SPGEMM_BLOCK);
+        let cfg = PipelineConfig {
+            overlap_engine: OverlapEngine::Spgemm,
+            pair_batch: 17,
+            spgemm_block: 5,
+            ..Default::default()
+        };
+        let oc = cfg.overlap();
+        assert_eq!(oc.engine, OverlapEngine::Spgemm);
+        assert_eq!(oc.pair_batch, 17);
+        assert_eq!(oc.spgemm_block, 5);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Read-by-k-mer sparse matrix view of a [`KmerHashTable`] partition.
+//!
+//! The BELLA / diBELLA-2D lineage reformulates overlap detection as the
+//! sparse matrix product `A·Aᵀ`, where `A` is the read-by-k-mer matrix:
+//! `A[i][c] ≠ 0` iff read `i` contains retained k-mer `c`, and the
+//! "value" is the occurrence (position, strand). [`ReadKmerCsr`] is the
+//! CSR (row-major) export of one rank's table partition, built once per
+//! overlap stage and consumed by the row-blocked Gustavson accumulator in
+//! `dibella-overlap::spgemm`.
+//!
+//! Determinism: the hash table iterates in arbitrary order, so the export
+//! canonicalizes both axes —
+//!
+//! * **columns** are the table's entries sorted by `(packed k-mer words,
+//!   k)` (the same total order the checkpoint codec uses), and
+//! * **rows** are the distinct read IDs appearing in this partition's
+//!   occurrence lists, ascending; each row's entries are appended in
+//!   column order, preserving each column's occurrence order within the
+//!   row.
+//!
+//! A read occurring several times in one k-mer's list (a repeat within
+//! the read) contributes one row entry per occurrence — the matrix is a
+//! multi-CSR, which is exactly what makes the SpGEMM pair multiset equal
+//! Algorithm 1's.
+
+use crate::table::{KmerHashTable, Occurrence};
+use dibella_io::ReadId;
+use dibella_kmer::Strand;
+
+/// One stored nonzero of a CSR row: which column, and the occurrence's
+/// position/strand in the row's read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsrEntry {
+    /// Column index (into the sorted k-mer axis).
+    pub col: u32,
+    /// k-mer position within the row's read.
+    pub pos: u32,
+    /// Strand on which the canonical k-mer was observed.
+    pub strand: Strand,
+}
+
+/// CSR export of one rank's read-by-k-mer matrix partition (see module
+/// docs for the canonical ordering).
+#[derive(Debug, Default)]
+pub struct ReadKmerCsr {
+    /// Distinct read IDs with at least one occurrence here, ascending.
+    rows: Vec<ReadId>,
+    /// Row pointer: row `r`'s entries are
+    /// `entries[row_ptr[r]..row_ptr[r + 1]]`.
+    row_ptr: Vec<usize>,
+    /// Row entries, grouped by row, column-ordered within each row.
+    entries: Vec<CsrEntry>,
+    /// Column pointer: column `c`'s occurrences are
+    /// `col_occs[col_ptr[c]..col_ptr[c + 1]]`.
+    col_ptr: Vec<usize>,
+    /// Concatenated per-column occurrence lists, in table entry order.
+    col_occs: Vec<Occurrence>,
+}
+
+impl ReadKmerCsr {
+    /// Build the CSR view of `table`. Deterministic for a given key→entry
+    /// mapping regardless of the hash map's iteration order.
+    pub fn from_table(table: &KmerHashTable) -> Self {
+        // Canonical column order: sort entries by packed k-mer words.
+        let mut cols: Vec<_> = table.iter().collect();
+        cols.sort_unstable_by_key(|(kmer, _)| (*kmer.words(), kmer.k()));
+
+        let mut col_ptr = Vec::with_capacity(cols.len() + 1);
+        col_ptr.push(0usize);
+        let mut col_occs = Vec::new();
+        for (_, entry) in &cols {
+            col_occs.extend_from_slice(&entry.occurrences);
+            col_ptr.push(col_occs.len());
+        }
+
+        // Canonical row order: distinct reads ascending.
+        let mut rows: Vec<ReadId> = col_occs.iter().map(|o| o.read).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let row_of = |read: ReadId| rows.binary_search(&read).expect("row for occurrence");
+
+        // Count, then fill, each row's entries in column order.
+        let mut counts = vec![0usize; rows.len()];
+        for occ in &col_occs {
+            counts[row_of(occ.read)] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        for c in &counts {
+            row_ptr.push(row_ptr.last().unwrap() + c);
+        }
+        let mut cursor = row_ptr.clone();
+        let mut entries = vec![
+            CsrEntry { col: 0, pos: 0, strand: Strand::Forward };
+            col_occs.len()
+        ];
+        for (c, window) in col_ptr.windows(2).enumerate() {
+            for occ in &col_occs[window[0]..window[1]] {
+                let r = row_of(occ.read);
+                entries[cursor[r]] = CsrEntry { col: c as u32, pos: occ.pos, strand: occ.strand };
+                cursor[r] += 1;
+            }
+        }
+
+        Self { rows, row_ptr, entries, col_ptr, col_occs }
+    }
+
+    /// Number of rows (distinct local reads).
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns (retained k-mers in this partition).
+    pub fn n_cols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Stored nonzeros (total occurrences).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The read ID of row `r`.
+    pub fn row_read(&self, r: usize) -> ReadId {
+        self.rows[r]
+    }
+
+    /// Row `r`'s entries, in column order.
+    pub fn row(&self, r: usize) -> &[CsrEntry] {
+        &self.entries[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Column `c`'s occurrence list, in table order.
+    pub fn col(&self, c: u32) -> &[Occurrence] {
+        &self.col_occs[self.col_ptr[c as usize]..self.col_ptr[c as usize + 1]]
+    }
+
+    /// The Gustavson flop bound of row range `[lo, hi)`: Σ over the
+    /// range's entries of their column lengths — the work (and candidate
+    /// count) of expanding those rows. Drives the dense/hash accumulator
+    /// choice per row block.
+    pub fn block_flops(&self, lo: usize, hi: usize) -> u64 {
+        (lo..hi)
+            .flat_map(|r| self.row(r))
+            .map(|e| (self.col_ptr[e.col as usize + 1] - self.col_ptr[e.col as usize]) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KcountConfig;
+    use dibella_kmer::Kmer1;
+
+    fn cfg() -> KcountConfig {
+        KcountConfig {
+            k: 5,
+            max_multiplicity: 16,
+            bloom_fp_rate: 0.05,
+            expected_distinct: 64,
+            max_kmers_per_round: 1 << 16,
+            max_exchange_bytes_per_round: usize::MAX,
+            extract_batch: KcountConfig::DEFAULT_EXTRACT_BATCH,
+        }
+    }
+
+    fn occ(read: ReadId, pos: u32, strand: Strand) -> Occurrence {
+        Occurrence { read, pos, strand }
+    }
+
+    fn table_with(entries: &[(&[u8], Vec<Occurrence>)]) -> KmerHashTable {
+        let c = cfg();
+        let mut t = KmerHashTable::with_capacity(entries.len());
+        for (s, occs) in entries {
+            let km = Kmer1::from_ascii(s).unwrap();
+            t.insert_key(km);
+            for o in occs {
+                assert!(t.record_occurrence(&km, *o, &c));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn csr_axes_are_canonical_and_complete() {
+        let t = table_with(&[
+            (b"ACGTA", vec![occ(3, 10, Strand::Forward), occ(1, 4, Strand::Reverse)]),
+            (b"CCCCC", vec![occ(1, 0, Strand::Forward), occ(7, 2, Strand::Forward)]),
+            (b"GGGGG", vec![occ(3, 5, Strand::Forward)]),
+        ]);
+        let csr = ReadKmerCsr::from_table(&t);
+        assert_eq!(csr.n_cols(), 3);
+        assert_eq!(csr.nnz(), 5);
+        // Rows: distinct reads ascending.
+        assert_eq!(csr.n_rows(), 3);
+        assert_eq!(
+            (0..csr.n_rows()).map(|r| csr.row_read(r)).collect::<Vec<_>>(),
+            vec![1, 3, 7]
+        );
+        // Every row entry points back into its column's occurrence list,
+        // and each row's entries are column-sorted.
+        let mut seen = 0usize;
+        for r in 0..csr.n_rows() {
+            let read = csr.row_read(r);
+            let row = csr.row(r);
+            assert!(row.windows(2).all(|w| w[0].col <= w[1].col), "row {read} unsorted");
+            for e in row {
+                seen += 1;
+                assert!(csr
+                    .col(e.col)
+                    .iter()
+                    .any(|o| o.read == read && o.pos == e.pos && o.strand == e.strand));
+            }
+        }
+        assert_eq!(seen, csr.nnz(), "every occurrence appears in exactly one row");
+    }
+
+    #[test]
+    fn repeated_read_in_one_column_keeps_both_entries() {
+        // One k-mer occurring twice in the same read: the row holds both.
+        let t = table_with(&[(
+            b"ACGTA",
+            vec![occ(2, 1, Strand::Forward), occ(2, 9, Strand::Forward), occ(5, 0, Strand::Forward)],
+        )]);
+        let csr = ReadKmerCsr::from_table(&t);
+        assert_eq!(csr.n_rows(), 2);
+        assert_eq!(csr.row(0).len(), 2, "read 2 contributes two entries");
+        assert_eq!(csr.col(0).len(), 3);
+    }
+
+    #[test]
+    fn flops_count_candidate_expansions() {
+        let t = table_with(&[
+            (b"ACGTA", vec![occ(0, 0, Strand::Forward), occ(1, 0, Strand::Forward)]),
+            (b"CCCCC", vec![occ(0, 3, Strand::Forward), occ(2, 1, Strand::Forward)]),
+        ]);
+        let csr = ReadKmerCsr::from_table(&t);
+        // Whole matrix: each of the 4 entries expands against a column of
+        // length 2 → 8 flops.
+        assert_eq!(csr.block_flops(0, csr.n_rows()), 8);
+        assert!(csr.block_flops(0, 1) > 0);
+        assert_eq!(csr.block_flops(1, 1), 0);
+    }
+
+    #[test]
+    fn empty_table_yields_empty_csr() {
+        let t = KmerHashTable::default();
+        let csr = ReadKmerCsr::from_table(&t);
+        assert_eq!(csr.n_rows(), 0);
+        assert_eq!(csr.n_cols(), 0);
+        assert_eq!(csr.nnz(), 0);
+    }
+}

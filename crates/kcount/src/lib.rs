@@ -17,11 +17,13 @@
 
 pub mod cardinality;
 pub mod config;
+pub mod csr;
 pub mod stages;
 pub mod table;
 
 pub use cardinality::hll_cardinality;
 pub use config::KcountConfig;
+pub use csr::{CsrEntry, ReadKmerCsr};
 pub use stages::{
     bloom_stage, bloom_stage_overlapping, hash_stage, hash_stage_prepacked, minimizer_stage,
     BloomOutput, HashOutput, KmerStageCounters, MinimizerOutput, PrepackedKmerRound,

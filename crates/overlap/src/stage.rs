@@ -10,6 +10,17 @@
 //! single monolithic all-to-all of the paper's Algorithm 1; the results
 //! are bit-identical either way.
 //!
+//! Two interchangeable **engines** implement the exchange half
+//! ([`OverlapEngine`], `--overlap-engine`): the default `pairs` engine
+//! below is the paper's Algorithm 1 — one fixed-size task record per
+//! shared-seed instance, consolidated at the destination — while the
+//! `spgemm` engine ([`crate::spgemm`]) reformulates the enumeration as
+//! the sparse matrix product `A·Aᵀ` and consolidates *at the source*,
+//! shipping one variable-length record per (pair, source rank). Both feed
+//! the identical consolidate → chain → policy epilogue here, and both
+//! produce bit-identical alignments; only wire bytes, pack time, and the
+//! physical `rounds` count differ.
+//!
 //! Pair enumeration is threaded through the shared
 //! [`BatchedExecutor`]: prefix sums over each entry's occurrence-pair
 //! bound `n(n−1)/2` form a global *pair-index* space, a round is a cut of
@@ -21,15 +32,52 @@
 
 use crate::chain::{chain_seeds, ChainConfig};
 use crate::policy::SeedPolicy;
+use crate::spgemm::spgemm_exchange;
 use crate::task::{OverlapTask, ReadPair, SharedSeed, TaskPlacement};
 use dibella_comm::{
-    decode_iter, encode_slice, records_per_round, BatchedExecutor, Comm, RoundExchange, RoundPlan,
-    Wire,
+    decode_iter, encode_slice, records_per_round, BatchedExecutor, Comm, MultisetUnion,
+    RoundExchange, RoundPlan, Wire,
 };
 use dibella_io::{ReadId, ReadPartition};
 use dibella_kcount::{KmerHashTable, Occurrence};
 use dibella_kmer::Strand;
 use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which exchange engine the overlap stage runs (`--overlap-engine`).
+/// Final alignments are bit-identical across engines; the choice trades
+/// pack time and wire bytes (see [`crate::spgemm`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverlapEngine {
+    /// Algorithm 1 verbatim: one 20-byte task record per shared-seed
+    /// instance, consolidated at the destination rank.
+    #[default]
+    Pairs,
+    /// Blocked `A·Aᵀ` SpGEMM with source-side per-pair consolidation.
+    Spgemm,
+}
+
+impl FromStr for OverlapEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pairs" => Ok(Self::Pairs),
+            "spgemm" => Ok(Self::Spgemm),
+            other => Err(format!("unknown overlap engine '{other}' (expected pairs|spgemm)")),
+        }
+    }
+}
+
+impl fmt::Display for OverlapEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Pairs => "pairs",
+            Self::Spgemm => "spgemm",
+        })
+    }
+}
 
 /// Overlap-stage configuration.
 #[derive(Clone, Copy, Debug)]
@@ -55,11 +103,19 @@ pub struct OverlapConfig {
     /// sketch hits need a consistency check that dense reliable k-mers
     /// get for free from their sheer count.
     pub chain: Option<ChainConfig>,
+    /// Which exchange engine runs the discovery half (`--overlap-engine`).
+    pub engine: OverlapEngine,
+    /// Rows per SpGEMM block when `engine == Spgemm` — the executor batch
+    /// unit (`--spgemm-block`). Pure function of the input, so any value
+    /// is deterministic; tests shrink it to force many blocks.
+    pub spgemm_block: usize,
 }
 
 impl OverlapConfig {
     /// Default executor batch size for threaded pair enumeration.
     pub const DEFAULT_PAIR_BATCH: usize = 1024;
+    /// Default rows per SpGEMM row block.
+    pub const DEFAULT_SPGEMM_BLOCK: usize = 64;
 }
 
 impl Default for OverlapConfig {
@@ -71,6 +127,8 @@ impl Default for OverlapConfig {
             max_exchange_bytes_per_round: usize::MAX,
             pair_batch: Self::DEFAULT_PAIR_BATCH,
             chain: None,
+            engine: OverlapEngine::Pairs,
+            spgemm_block: Self::DEFAULT_SPGEMM_BLOCK,
         }
     }
 }
@@ -159,9 +217,19 @@ pub struct OverlapCounters {
     /// Retained k-mers traversed in this rank's partition (the rate unit
     /// of Figure 6).
     pub retained_kmers: u64,
-    /// Candidate pairs emitted (before consolidation).
+    /// Shared-seed instances emitted into the exchange (before any
+    /// consolidation) — engine-invariant: the `spgemm` engine counts every
+    /// seed its consolidated records carry.
     pub pairs_emitted: u64,
-    /// Task records received in the exchange.
+    /// Wire records emitted. Equals `pairs_emitted` for the `pairs`
+    /// engine (one record per seed); for `spgemm` it is the number of
+    /// source-consolidated `(pair, source rank)` records.
+    pub candidate_pairs_emitted: u64,
+    /// Seed instances the `spgemm` engine merged away at the source
+    /// (`pairs_emitted − candidate_pairs_emitted`; 0 for `pairs`).
+    pub pairs_deduped_at_source: u64,
+    /// Shared-seed instances received in the exchange (engine-invariant;
+    /// world-summed it always equals `pairs_emitted`).
     pub tasks_received: u64,
     /// Distinct pairs after consolidation on this rank.
     pub pairs_consolidated: u64,
@@ -176,6 +244,9 @@ pub struct OverlapCounters {
     pub pairs_chain_dropped: u64,
     /// Bulk-synchronous exchange rounds executed (equals the stage's
     /// `alltoallv` call count; 1 unless a round cap forces streaming).
+    /// Physical, not logical: the two engines plan rounds over different
+    /// record streams, so this counter may legitimately differ between
+    /// them under a byte cap.
     pub rounds: u64,
 }
 
@@ -191,6 +262,24 @@ pub struct OverlapOutput {
 
 /// Task wire record: `(ra, rb, (a_pos, b_pos, reverse))` — 20 bytes.
 type TaskMsg = (u32, u32, (u32, u32, u32));
+
+/// What an engine's exchange half hands to the shared epilogue: the
+/// consolidated per-pair seed multisets plus the emission counters. Both
+/// engines produce the same logical multiset; only the record geometry
+/// (and hence `emitted_records` and the physical round count) differs.
+pub(crate) struct ExchangeOut {
+    /// Per-pair seed lists as received (pre-canonicalization).
+    pub pairs: MultisetUnion<ReadPair, SharedSeed>,
+    /// Shared-seed instances emitted (engine-invariant).
+    pub emitted_seeds: u64,
+    /// Shared-seed instances received (engine-invariant).
+    pub received_seeds: u64,
+    /// Wire records emitted (engine-dependent; = `emitted_seeds` for the
+    /// pairs engine).
+    pub emitted_records: u64,
+    /// Executed exchange rounds.
+    pub rounds: u64,
+}
 
 /// Run the overlap stage.
 ///
@@ -216,11 +305,61 @@ pub fn overlap_stage_with_lengths(
     lengths: Option<&[u32]>,
     exec: &BatchedExecutor,
 ) -> OverlapOutput {
-    let p = comm.size();
+    let exch = match cfg.engine {
+        OverlapEngine::Pairs => pairs_exchange(comm, table, read_part, cfg, lengths, exec),
+        OverlapEngine::Spgemm => spgemm_exchange(comm, table, read_part, cfg, lengths, exec),
+    };
     let mut counters = OverlapCounters {
         retained_kmers: table.len() as u64,
+        pairs_emitted: exch.emitted_seeds,
+        candidate_pairs_emitted: exch.emitted_records,
+        pairs_deduped_at_source: exch.emitted_seeds - exch.emitted_records,
+        tasks_received: exch.received_seeds,
+        rounds: exch.rounds,
         ..Default::default()
     };
+
+    // ---- chain, filter seeds, emit deterministic task list ---------------
+    // Shared epilogue: both engines deliver the same per-pair seed
+    // multisets, so everything from here on is engine-independent.
+    let mut tasks: Vec<OverlapTask> = exch
+        .pairs
+        .into_map()
+        .into_iter()
+        .filter_map(|(pair, mut seeds)| {
+            seeds.sort_unstable();
+            seeds.dedup();
+            if let Some(chain_cfg) = &cfg.chain {
+                let before = seeds.len() as u64;
+                if !chain_seeds(&mut seeds, chain_cfg) {
+                    counters.pairs_chain_dropped += 1;
+                    counters.seeds_dropped += before;
+                    return None;
+                }
+                counters.seeds_dropped += before - seeds.len() as u64;
+            }
+            counters.pairs_consolidated += 1;
+            let dropped = cfg.policy.apply(&mut seeds, cfg.max_seeds_per_pair);
+            counters.seeds_dropped += dropped as u64;
+            counters.seeds_kept += seeds.len() as u64;
+            Some(OverlapTask { pair, seeds })
+        })
+        .collect();
+    tasks.sort_unstable_by_key(|t| t.pair);
+
+    OverlapOutput { tasks, counters }
+}
+
+/// The `pairs` engine's exchange half — Algorithm 1 verbatim.
+fn pairs_exchange(
+    comm: &Comm,
+    table: &KmerHashTable,
+    read_part: &ReadPartition,
+    cfg: &OverlapConfig,
+    lengths: Option<&[u32]>,
+    exec: &BatchedExecutor,
+) -> ExchangeOut {
+    let p = comm.size();
 
     // ---- Algorithm 1, batched over the pair-index space ------------------
     // Prefix sums over each entry's occurrence-pair bound `n(n−1)/2` give
@@ -246,7 +385,7 @@ pub fn overlap_stage_with_lengths(
     let batch = cfg.pair_batch.max(1) as u64;
     let mut emitted = 0u64;
     let mut received = 0u64;
-    let mut pairs: HashMap<ReadPair, Vec<SharedSeed>> = HashMap::new();
+    let mut pairs: MultisetUnion<ReadPair, SharedSeed> = MultisetUnion::new();
 
     let rounds = RoundExchange::run(
         comm,
@@ -281,43 +420,19 @@ pub fn overlap_stage_with_lengths(
             for buf in recv {
                 for (a, b, (a_pos, b_pos, rev)) in decode_iter::<TaskMsg>(&buf) {
                     received += 1;
-                    pairs
-                        .entry(ReadPair { a, b })
-                        .or_default()
-                        .push(SharedSeed { a_pos, b_pos, reverse: rev != 0 });
+                    pairs.push(ReadPair { a, b }, SharedSeed { a_pos, b_pos, reverse: rev != 0 });
                 }
             }
         },
     );
-    counters.pairs_emitted = emitted;
-    counters.tasks_received = received;
-    counters.rounds = rounds;
-
-    // ---- chain, filter seeds, emit deterministic task list ------------------
-    let mut tasks: Vec<OverlapTask> = pairs
-        .into_iter()
-        .filter_map(|(pair, mut seeds)| {
-            seeds.sort_unstable();
-            seeds.dedup();
-            if let Some(chain_cfg) = &cfg.chain {
-                let before = seeds.len() as u64;
-                if !chain_seeds(&mut seeds, chain_cfg) {
-                    counters.pairs_chain_dropped += 1;
-                    counters.seeds_dropped += before;
-                    return None;
-                }
-                counters.seeds_dropped += before - seeds.len() as u64;
-            }
-            counters.pairs_consolidated += 1;
-            let dropped = cfg.policy.apply(&mut seeds, cfg.max_seeds_per_pair);
-            counters.seeds_dropped += dropped as u64;
-            counters.seeds_kept += seeds.len() as u64;
-            Some(OverlapTask { pair, seeds })
-        })
-        .collect();
-    tasks.sort_unstable_by_key(|t| t.pair);
-
-    OverlapOutput { tasks, counters }
+    ExchangeOut {
+        pairs,
+        emitted_seeds: emitted,
+        received_seeds: received,
+        // One wire record per seed instance: nothing dedups at the source.
+        emitted_records: emitted,
+        rounds,
+    }
 }
 
 /// Serial reference for tests and the single-node baseline: all pairs of
@@ -615,6 +730,74 @@ mod tests {
                     t += 1;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn engine_flag_parses_and_displays() {
+        assert_eq!("pairs".parse::<OverlapEngine>().unwrap(), OverlapEngine::Pairs);
+        assert_eq!("spgemm".parse::<OverlapEngine>().unwrap(), OverlapEngine::Spgemm);
+        assert_eq!(OverlapEngine::Pairs.to_string(), "pairs");
+        assert_eq!(OverlapEngine::Spgemm.to_string(), "spgemm");
+        assert!("bella".parse::<OverlapEngine>().is_err());
+        assert_eq!(OverlapEngine::default(), OverlapEngine::Pairs);
+    }
+
+    /// The SpGEMM engine produces the pairs engine's exact tasks and
+    /// logical counters, per rank, and dedups shipped records at the
+    /// source whenever pairs share seeds.
+    #[test]
+    fn spgemm_engine_is_bit_identical_and_dedups_at_source() {
+        let reads = overlapping_reads(12, 60, 12);
+        let kc = kc_cfg(9, 24);
+        let base = OverlapConfig {
+            policy: SeedPolicy::MinDistance(9),
+            max_seeds_per_pair: 64,
+            ..Default::default()
+        };
+        let (part, chunks) = partition_reads(&reads, 3);
+        let run = |oc: OverlapConfig| {
+            CommWorld::run(3, |comm| {
+                let exec = BatchedExecutor::sequential();
+                let local = chunks[comm.rank()].reads();
+                let bloom = bloom_stage(comm, local, &kc, &exec);
+                let mut table = bloom.table;
+                let _ = hash_stage(comm, local, &mut table, &kc, &exec);
+                overlap_stage(comm, &table, &part, &oc, &exec)
+            })
+        };
+        let pairs_out = run(base);
+        let spgemm_out = run(OverlapConfig {
+            engine: OverlapEngine::Spgemm,
+            spgemm_block: 2, // force several row blocks
+            ..base
+        });
+        for (p_rank, s_rank) in pairs_out.iter().zip(&spgemm_out) {
+            assert_eq!(p_rank.tasks, s_rank.tasks, "tasks diverge between engines");
+            // Logical counters are engine-invariant...
+            let (p, s) = (p_rank.counters, s_rank.counters);
+            assert_eq!(p.retained_kmers, s.retained_kmers);
+            assert_eq!(p.pairs_emitted, s.pairs_emitted);
+            assert_eq!(p.pairs_consolidated, s.pairs_consolidated);
+            assert_eq!(p.seeds_kept, s.seeds_kept);
+            assert_eq!(p.seeds_dropped, s.seeds_dropped);
+            // ...and the pairs engine never dedups at the source.
+            assert_eq!(p.candidate_pairs_emitted, p.pairs_emitted);
+            assert_eq!(p.pairs_deduped_at_source, 0);
+            assert_eq!(
+                s.pairs_deduped_at_source,
+                s.pairs_emitted - s.candidate_pairs_emitted
+            );
+        }
+        // Overlapping synthetic reads share many k-mers per pair, so the
+        // SpGEMM engine must merge records at the source.
+        let deduped: u64 = spgemm_out.iter().map(|o| o.counters.pairs_deduped_at_source).sum();
+        assert!(deduped > 0, "expected source-side dedup on seed-rich pairs");
+        // Received seeds balance across the world for both engines.
+        for outs in [&pairs_out, &spgemm_out] {
+            let emitted: u64 = outs.iter().map(|o| o.counters.pairs_emitted).sum();
+            let received: u64 = outs.iter().map(|o| o.counters.tasks_received).sum();
+            assert_eq!(emitted, received);
         }
     }
 

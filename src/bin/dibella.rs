@@ -45,6 +45,8 @@ USAGE:
                   [--checkpoint-dir DIR] [--round-mb MB]
                   [--policy one|1000|k] [-e ERR] [-d DEPTH]
                   [--seed-mode reliable|minimizer] [--minimizer-w W]
+                  [--overlap-engine pairs|spgemm] [--pair-batch N]
+                  [--spgemm-block ROWS]
                   [-x XDROP] [--min-score S] [--simd scalar|auto]
                   [-o out.paf] [--gfa out.gfa]
   dibella simulate <out.fastq> [-g GENOME_BP] [-d DEPTH] [-l MEAN_LEN]
@@ -162,6 +164,17 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse()?,
     };
     let minimizer_w: usize = flags.get("minimizer-w", 7)?;
+    // Overlap exchange engine: the paper's per-seed task records, or the
+    // source-deduplicating SpGEMM reformulation (bit-identical output).
+    // Unset defers to DIBELLA_OVERLAP_ENGINE.
+    let overlap_engine: OverlapEngine = match flags.named.get("overlap-engine") {
+        None => PipelineConfig::env_overlap_engine(),
+        Some(v) => v.parse()?,
+    };
+    let pair_batch: usize =
+        flags.get("pair-batch", dibella::overlap::OverlapConfig::DEFAULT_PAIR_BATCH)?;
+    let spgemm_block: usize =
+        flags.get("spgemm-block", dibella::overlap::OverlapConfig::DEFAULT_SPGEMM_BLOCK)?;
 
     let cfg = PipelineConfig {
         k,
@@ -176,6 +189,9 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         simd,
         seed_mode,
         minimizer_w,
+        overlap_engine,
+        pair_batch,
+        spgemm_block,
         checkpoint_dir,
         ..Default::default()
     };
@@ -185,7 +201,7 @@ fn cmd_overlap(args: &[String]) -> Result<(), String> {
         format!("{:.2} MiB", round_bytes as f64 / (1 << 20) as f64)
     };
     eprintln!(
-        "dibella: {} reads ({:.1} Mb), k={k}, m={}, seeds {seed_mode}, {ranks} ranks x {} thread(s), transport {}, round cap {round_cap}",
+        "dibella: {} reads ({:.1} Mb), k={k}, m={}, seeds {seed_mode}, engine {overlap_engine}, {ranks} ranks x {} thread(s), transport {}, round cap {round_cap}",
         reads.len(),
         reads.total_bases() as f64 / 1e6,
         cfg.multiplicity_threshold(),
